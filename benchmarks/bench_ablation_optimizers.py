@@ -1,0 +1,102 @@
+"""Ablations A1/A2: how much do Algorithms 1 and 2 actually contribute?
+
+A1 — global optimization on/off: with Algorithm 1 disabled the namenode
+falls back to default placement, so the first datanode is random and the
+client frequently streams across the throttled boundary.
+
+A2 — local-optimization threshold sweep: threshold 1.0 disables the
+exploratory swap entirely (stale speed records never refresh); 0.0 swaps
+every pipeline (first datanode effectively random again).  The paper's
+0.8 sits between.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import experiment_config
+from repro.experiments.report import ExperimentResult
+from repro.units import GB
+from repro.workloads import run_upload, two_rack
+
+
+def _run(config, scale):
+    scenario = two_rack("small", throttle_mbps=50)
+    outcome = run_upload(scenario, "smarth", int(8 * GB * scale), config=config)
+    assert outcome.fully_replicated
+    return outcome.duration
+
+
+def ablation_optimizers(scale: float) -> ExperimentResult:
+    base = experiment_config()
+    rows = []
+    durations = {}
+    variants = {
+        "full SMARTH (paper)": base,
+        "global opt OFF": base.with_smarth(enable_global_opt=False),
+        "local opt OFF": base.with_smarth(enable_local_opt=False),
+        "both optimizers OFF": base.with_smarth(
+            enable_global_opt=False, enable_local_opt=False
+        ),
+        "threshold=1.0 (never swap)": base.with_smarth(local_opt_threshold=1.0),
+        "threshold=0.0 (always swap)": base.with_smarth(local_opt_threshold=0.0),
+    }
+    for label, config in variants.items():
+        durations[label] = _run(config, scale)
+        rows.append({"variant": label, "smarth_s": round(durations[label], 1)})
+    return ExperimentResult(
+        experiment_id="ablation_optimizers",
+        title="A1/A2: contribution of the global and local optimizers "
+        "(small cluster, 50 Mbps two-rack throttle)",
+        columns=("variant", "smarth_s"),
+        rows=rows,
+        paper_claim={
+            "claim": "Algorithm 1 picks a fast first datanode; Algorithm 2 "
+            "keeps its records fresh via occasional swaps (threshold 0.8)"
+        },
+        measured={
+            "both_off_penalty": round(
+                durations["both optimizers OFF"]
+                / durations["full SMARTH (paper)"],
+                2,
+            ),
+            "local_off_penalty": round(
+                durations["local opt OFF"] / durations["full SMARTH (paper)"], 2
+            ),
+            "never_swap_penalty": round(
+                durations["threshold=1.0 (never swap)"]
+                / durations["full SMARTH (paper)"],
+                2,
+            ),
+            "always_swap_penalty": round(
+                durations["threshold=0.0 (always swap)"]
+                / durations["full SMARTH (paper)"],
+                2,
+            ),
+        },
+        notes="Reproduction finding: the asynchronous multi-pipeline "
+        "protocol delivers most of SMARTH's gain — 'both optimizers OFF' "
+        "(random first datanode) lands close to the full design, because "
+        "the §IV-C disjointness rule forces rotation over all datanodes "
+        "regardless.  The optimizers' real job is avoiding pathologies: "
+        "exploitation without exploration (local opt OFF, or threshold "
+        "1.0) locks onto stale speed records and is far slower, and "
+        "always swapping (threshold 0.0) degenerates to random-or-worse. "
+        "The paper's combination is the best configuration measured.",
+    )
+
+
+def test_ablation_optimizers(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, ablation_optimizers, scale=scale)
+    durations = {r["variant"]: r["smarth_s"] for r in result.rows}
+    full = durations["full SMARTH (paper)"]
+    # The paper's configuration is the best one measured (small slack for
+    # warm-up noise at reduced scale).
+    assert full <= min(durations.values()) * 1.05
+    penalty = 1.4 if scale >= 0.9 else 1.1
+    # Exploitation without exploration locks onto stale records.
+    assert durations["local opt OFF"] > full * penalty
+    assert durations["threshold=1.0 (never swap)"] > full * penalty
+    # Pure exploration degenerates toward (or below) random choice.
+    assert durations["threshold=0.0 (always swap)"] > full * penalty
+    # Random-first SMARTH still works: the multi-pipeline protocol itself
+    # carries most of the win (see notes) — sanity-bound it.
+    assert durations["both optimizers OFF"] < full * 1.3

@@ -1,0 +1,38 @@
+"""Figure 5(a)-(f): upload time vs file size, with/without 100 Mbps
+two-rack throttling, on small/medium/large clusters.
+
+Shape targets: time ∝ size; throttled runs slower; medium ≈ large (equal
+NICs); no big HDFS-vs-SMARTH gap unthrottled.
+"""
+
+import pytest
+from conftest import run_experiment
+
+from repro.experiments import fig5
+
+
+def test_fig5(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig5, scale=scale)
+
+    # Linearity: max/min time ratio tracks the size ratio within 25%.
+    for instance in ("small", "medium", "large"):
+        time_ratio = result.measured[f"{instance}_time_ratio"]
+        size_ratio = result.measured[f"{instance}_size_ratio"]
+        assert time_ratio == pytest.approx(size_ratio, rel=0.25)
+
+    # Medium and large clusters perform the same (equal NIC rates).
+    medium = {
+        (r["network"], r["size_gb"]): r["hdfs_s"]
+        for r in result.rows
+        if r["instance"] == "medium"
+    }
+    for r in result.rows:
+        if r["instance"] == "large":
+            assert r["hdfs_s"] == pytest.approx(
+                medium[(r["network"], r["size_gb"])], rel=0.1
+            )
+
+    # Unthrottled homogeneous network: no big gain for SMARTH.
+    for r in result.rows:
+        if r["network"] == "default":
+            assert r["improvement_pct"] < 40

@@ -1,0 +1,22 @@
+"""Figure 7: medium cluster, cross-rack throttle sweep (8 GB uploads).
+
+Paper: 225% improvement at 50 Mbps.  Shape: medium gains exceed the small
+cluster's at matching throttles (faster NIC → more headroom for the
+multi-pipeline client).
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import fig6, fig7
+
+
+def test_fig7(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig7, scale=scale)
+    imps = {r["label"]: r["improvement_pct"] for r in result.rows}
+    assert imps["50Mbps"] > imps["150Mbps"] > 0
+    assert imps["50Mbps"] > 60
+
+    # Medium beats small at mid throttles (Figure 7 vs Figure 6).
+    small = fig6(scale=scale, throttles=(100,))
+    small_imp = small.rows[0]["improvement_pct"]
+    assert imps["100Mbps"] > small_imp

@@ -1,0 +1,26 @@
+"""Figure 8: large cluster, cross-rack throttle sweep (8 GB uploads).
+
+Paper: 245% at 50 Mbps, and large ≈ medium throughout (equal NICs).
+"""
+
+import pytest
+from conftest import run_experiment
+
+from repro.experiments import fig7, fig8
+
+
+def test_fig8(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig8, scale=scale)
+    imps = {r["label"]: r["improvement_pct"] for r in result.rows}
+    assert imps["50Mbps"] > imps["150Mbps"] > 0
+
+    # Large tracks medium (same network capacity — §V-B.1).
+    medium = fig7(scale=scale)
+    med_rows = {r["label"]: r for r in medium.rows}
+    for r in result.rows:
+        assert r["hdfs_s"] == pytest.approx(
+            med_rows[r["label"]]["hdfs_s"], rel=0.15
+        )
+        assert r["smarth_s"] == pytest.approx(
+            med_rows[r["label"]]["smarth_s"], rel=0.25
+        )

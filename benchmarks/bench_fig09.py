@@ -1,0 +1,31 @@
+"""Figure 9: improvement vs throttle level for all three cluster types.
+
+Shape: improvement decreases monotonically as the throttle is relaxed,
+for every cluster.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import fig9
+
+
+def test_fig9(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig9, scale=scale)
+    if scale >= 0.9:
+        # Full scale: strictly monotone for every cluster (paper's claim).
+        for cluster in ("small", "medium", "large"):
+            assert result.measured[f"{cluster}_monotone_decreasing"], (
+                f"{cluster}: improvement should fall as the throttle relaxes"
+            )
+    else:
+        # Reduced scale: the speed-learning warm-up adds noise; require
+        # the endpoint ordering (50 Mbps beats 150 Mbps) per cluster.
+        for cluster in ("small", "medium", "large"):
+            imps = [
+                r["improvement_pct"]
+                for r in result.rows
+                if r["cluster"] == cluster
+            ]
+            assert imps[0] > imps[-1]
+    # Every throttled point shows a real win.
+    assert all(r["improvement_pct"] > 0 for r in result.rows)

@@ -1,0 +1,24 @@
+"""Figure 10: small cluster, 0-5 datanodes throttled to 50 Mbps (8 GB).
+
+Paper: one slow node already yields a 78% SMARTH win; HDFS degrades
+steeply with more slow nodes.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig10, scale=scale)
+    rows = {r["slow_nodes"]: r for r in result.rows}
+
+    # HDFS time grows monotonically with the slow-node count.
+    hdfs_times = [rows[k]["hdfs_s"] for k in sorted(rows)]
+    assert hdfs_times == sorted(hdfs_times)
+
+    # One slow node is enough for a large win (paper: 78%).
+    assert rows[1]["improvement_pct"] > 30
+    # SMARTH's advantage at k>=1 always beats the contention-free case.
+    for k in range(1, 6):
+        assert rows[k]["improvement_pct"] > rows[0]["improvement_pct"]

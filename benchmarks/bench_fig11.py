@@ -1,0 +1,27 @@
+"""Figure 11(a)(b): medium and large clusters, 0-5 slow (50 Mbps) nodes.
+
+Paper: 167% at one slow node (medium); medium ≈ large throughout.
+"""
+
+import pytest
+from conftest import run_experiment
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig11, scale=scale)
+    medium = {r["slow_nodes"]: r for r in result.rows if r["cluster"] == "medium"}
+    large = {r["slow_nodes"]: r for r in result.rows if r["cluster"] == "large"}
+
+    # A single slow node hurts the faster clusters even more than small
+    # (bigger gap between default and throttled bandwidth).
+    assert medium[1]["improvement_pct"] > 40
+
+    # Medium and large behave alike (equal network capacity).
+    for k in medium:
+        assert medium[k]["hdfs_s"] == pytest.approx(large[k]["hdfs_s"], rel=0.2)
+
+    # Monotone HDFS degradation.
+    hdfs_times = [medium[k]["hdfs_s"] for k in sorted(medium)]
+    assert hdfs_times == sorted(hdfs_times)

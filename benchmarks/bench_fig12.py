@@ -1,0 +1,25 @@
+"""Figure 12(a)(b): small and medium clusters, 0-5 slow nodes at 150 Mbps.
+
+Paper: the benefit shrinks versus the 50 Mbps case — 19% (small) and 59%
+(medium) at one slow node.
+"""
+
+from conftest import run_experiment
+
+from repro.experiments import fig10, fig12
+
+
+def test_fig12(benchmark, results_dir, scale):
+    result = run_experiment(benchmark, results_dir, fig12, scale=scale)
+    small = {r["slow_nodes"]: r for r in result.rows if r["cluster"] == "small"}
+    medium = {r["slow_nodes"]: r for r in result.rows if r["cluster"] == "medium"}
+
+    # 150 Mbps slow nodes hurt far less than 50 Mbps ones (vs Figure 10).
+    fifty = fig10(scale=scale, ks=(1,))
+    assert small[1]["improvement_pct"] < fifty.rows[0]["improvement_pct"]
+
+    # Medium gains more than small (paper: 59% vs 19%): a 150 Mbps node
+    # barely slows a 216 Mbps NIC but badly slows a 376 Mbps one.  At
+    # reduced scale the warm-up adds noise, so allow a small margin.
+    margin = 1.0 if scale >= 0.9 else 0.85
+    assert medium[1]["improvement_pct"] > small[1]["improvement_pct"] * margin

@@ -1,0 +1,13 @@
+"""Table I: the EC2 instance catalog (configuration check, not a sweep)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, results_dir):
+    result = run_experiment(benchmark, results_dir, table1)
+    by_name = {r["instance"]: r for r in result.rows}
+    assert by_name["small"]["network_mbps"] == 216
+    assert by_name["medium"]["network_mbps"] == 376
+    assert by_name["large"]["network_mbps"] == 376

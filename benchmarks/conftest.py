@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*.py`` regenerates one table/figure of the paper: it
+runs the corresponding experiment driver once (simulations are
+deterministic — repeated rounds would measure the same thing), prints
+the series the paper plots, writes it to ``benchmarks/results/<id>.txt``
+and attaches the headline numbers to pytest-benchmark's ``extra_info``.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SCALE`` — scale factor on the paper's file sizes
+  (default 1.0 = the paper's 8 GB points, ~2 minutes for the whole
+  suite; set e.g. 0.25 for a quick pass — assertions loosen accordingly
+  because the speed-learning warm-up then covers a larger fraction of
+  each upload).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_experiment(benchmark, results_dir, driver, **kwargs):
+    """Run one experiment driver under pytest-benchmark and report it."""
+    result = benchmark.pedantic(
+        lambda: driver(**kwargs), rounds=1, iterations=1
+    )
+    text = result.to_text()
+    print("\n" + text)
+    (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["measured"] = {
+        k: str(v) for k, v in result.measured.items()
+    }
+    benchmark.extra_info["paper"] = result.paper_claim.get("claim", "")
+    return result

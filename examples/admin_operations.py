@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Cluster administration walkthrough: heal, drain, balance.
+
+Demonstrates the operational substrate around the write protocols:
+
+1. upload a dataset with SMARTH;
+2. crash a replica holder → the background **replication monitor**
+   detects the dead node (missed heartbeats) and heals every block;
+3. gracefully **decommission** another holder — its replicas are copied
+   off before it is marked safe to power down;
+4. run the **balancer** to even out the post-churn replica distribution.
+
+Run:  python examples/admin_operations.py [size]
+"""
+
+import sys
+
+from repro import SmarthDeployment, build_homogeneous, parse_size
+from repro.experiments import experiment_config
+from repro.hdfs import Balancer, DecommissionManager
+from repro.sim import Environment
+from repro.units import fmt_size
+
+
+def utilization_line(balancer):
+    counts = balancer.utilization()
+    return "  ".join(f"{d}:{c}" for d, c in sorted(counts.items()))
+
+
+def main() -> None:
+    size = parse_size(sys.argv[1]) if len(sys.argv) > 1 else parse_size("512MB")
+    config = experiment_config().with_hdfs(
+        heartbeat_interval=1.0, dead_node_heartbeats=3
+    )
+    env = Environment()
+    cluster = build_homogeneous(env, "small", n_datanodes=9, config=config)
+    deployment = SmarthDeployment(cluster)
+    nn = deployment.namenode
+
+    client = deployment.client()
+    env.run(until=env.process(client.put("/data/set.bin", size)))
+    env.run(until=env.now + 1)
+    print(f"1. uploaded {fmt_size(size)}; fully replicated: "
+          f"{nn.file_fully_replicated('/data/set.bin')}")
+
+    # 2. Crash a holder and let the monitor heal.
+    victim = nn.blocks.locations(nn.namespace.get("/data/set.bin").blocks[0].block_id)[0]
+    deployment.datanode(victim).kill()
+    print(f"2. crashed {victim}; waiting for detection + healing …")
+    env.run(until=env.now + 60)
+    healed = len(deployment.replication_monitor.completed)
+    print(f"   monitor re-replicated {healed} blocks; fully replicated: "
+          f"{nn.file_fully_replicated('/data/set.bin')}")
+
+    # 3. Graceful decommission of another holder.
+    survivor = next(
+        d for d in nn.datanodes.live_datanodes()
+        if nn.blocks.blocks_on(d)
+    )
+    admin = DecommissionManager(deployment)
+    copies = env.run(until=env.process(admin.decommission(survivor)))
+    print(f"3. decommissioned {survivor} after draining {copies} replicas; "
+          f"state: {nn.datanodes.descriptor(survivor).decommissioned}")
+
+    # 4. Balance what churn left behind.
+    balancer = Balancer(deployment, threshold_blocks=1)
+    print(f"4. utilization before balance: {utilization_line(balancer)}")
+    report = env.run(until=env.process(balancer.run()))
+    print(f"   moved {report.n_moves} replicas "
+          f"(spread {report.initial_spread} → {report.final_spread})")
+    print(f"   utilization after balance:  {utilization_line(balancer)}")
+    print(f"   file still fully replicated: "
+          f"{nn.file_fully_replicated('/data/set.bin')}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools 65 without the ``wheel`` package,
+so PEP 660 editable installs (``pip install -e .``) cannot build a wheel.
+This shim enables the legacy ``--no-use-pep517`` editable path; all real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Analysis: the §III-D cost model, metrics, and sim-vs-model validation."""
+
+from .cost_model import (
+    CostParameters,
+    harmonic_mean,
+    hdfs_time,
+    predicted_improvement,
+    production_bound_time,
+    smarth_time,
+    smarth_time_refined,
+)
+from .metrics import ComparisonRow, improvement_percent, summarize_series
+from .statistics import ReplicatedComparison, SeedSummary, repeat_compare
+from .trace import Journal, TraceEvent
+from .validation import ValidationPoint, validate_hdfs, validate_smarth
+
+__all__ = [
+    "CostParameters",
+    "production_bound_time",
+    "hdfs_time",
+    "smarth_time",
+    "smarth_time_refined",
+    "predicted_improvement",
+    "harmonic_mean",
+    "ComparisonRow",
+    "improvement_percent",
+    "summarize_series",
+    "ValidationPoint",
+    "validate_hdfs",
+    "validate_smarth",
+    "SeedSummary",
+    "ReplicatedComparison",
+    "repeat_compare",
+    "Journal",
+    "TraceEvent",
+]

@@ -1,0 +1,71 @@
+"""Result metrics and series summaries for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hdfs.protocol import WriteResult
+from ..units import to_mbps
+
+__all__ = ["improvement_percent", "ComparisonRow", "summarize_series"]
+
+
+def improvement_percent(hdfs_seconds: float, smarth_seconds: float) -> float:
+    """The paper's headline metric: ``(T_hdfs / T_smarth - 1) * 100``."""
+    if smarth_seconds <= 0:
+        raise ValueError("smarth time must be positive")
+    return (hdfs_seconds / smarth_seconds - 1.0) * 100.0
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One x-axis point of an HDFS-vs-SMARTH figure."""
+
+    label: str
+    hdfs_seconds: float
+    smarth_seconds: float
+
+    @property
+    def improvement(self) -> float:
+        return improvement_percent(self.hdfs_seconds, self.smarth_seconds)
+
+    @classmethod
+    def from_results(
+        cls, label: str, hdfs: WriteResult, smarth: WriteResult
+    ) -> "ComparisonRow":
+        return cls(
+            label=label,
+            hdfs_seconds=hdfs.duration,
+            smarth_seconds=smarth.duration,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "hdfs_s": round(self.hdfs_seconds, 2),
+            "smarth_s": round(self.smarth_seconds, 2),
+            "improvement_pct": round(self.improvement, 1),
+        }
+
+
+def summarize_series(values: Sequence[float]) -> dict:
+    """Mean / min / max / stdev of a measurement series."""
+    if not values:
+        raise ValueError("empty series")
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return {
+        "n": n,
+        "mean": mean,
+        "min": min(values),
+        "max": max(values),
+        "stdev": math.sqrt(var),
+    }
+
+
+def throughput_mbps(result: WriteResult) -> float:
+    """Goodput of a completed upload in Mbps."""
+    return to_mbps(result.throughput)

@@ -1,0 +1,113 @@
+"""Seed-replication statistics for experiment results.
+
+The paper's EC2 measurements are averages over repeated runs; our
+simulator is deterministic *per seed*, so the analogue is repeating an
+experiment across seeds and summarizing.  This module provides exactly
+that: run a scenario under ``n`` seeds and report mean, spread and a
+t-distribution confidence interval for the upload times and the
+improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from ..config import SimulationConfig
+from ..units import parse_size
+from ..workloads.scenarios import Scenario
+from ..workloads.upload import run_upload
+
+__all__ = ["SeedSummary", "ReplicatedComparison", "repeat_compare"]
+
+
+@dataclass(frozen=True)
+class SeedSummary:
+    """Mean / stdev / CI of one measured quantity across seeds."""
+
+    mean: float
+    stdev: float
+    ci_low: float
+    ci_high: float
+    n: int
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], confidence: float = 0.95
+    ) -> "SeedSummary":
+        values = np.asarray(list(samples), dtype=float)
+        if values.size == 0:
+            raise ValueError("no samples")
+        mean = float(values.mean())
+        if values.size == 1:
+            return cls(mean=mean, stdev=0.0, ci_low=mean, ci_high=mean, n=1)
+        stdev = float(values.std(ddof=1))
+        sem = stdev / np.sqrt(values.size)
+        t = scipy_stats.t.ppf(0.5 + confidence / 2, df=values.size - 1)
+        half = float(t * sem)
+        return cls(
+            mean=mean,
+            stdev=stdev,
+            ci_low=mean - half,
+            ci_high=mean + half,
+            n=int(values.size),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f} ± {self.ci_high - self.mean:.1f} (n={self.n})"
+
+
+@dataclass(frozen=True)
+class ReplicatedComparison:
+    """HDFS-vs-SMARTH comparison replicated across seeds."""
+
+    scenario: str
+    size: int
+    hdfs: SeedSummary
+    smarth: SeedSummary
+    improvement: SeedSummary
+
+    @property
+    def smarth_wins_significantly(self) -> bool:
+        """True when the improvement CI sits entirely above zero."""
+        return self.improvement.ci_low > 0
+
+
+def repeat_compare(
+    scenario: Scenario,
+    size: int | str,
+    seeds: Sequence[int],
+    config: Optional[SimulationConfig] = None,
+    confidence: float = 0.95,
+) -> ReplicatedComparison:
+    """Run both systems once per seed; summarize across the replicas."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    size = parse_size(size)
+    base = config or SimulationConfig()
+
+    hdfs_times: list[float] = []
+    smarth_times: list[float] = []
+    improvements: list[float] = []
+    for seed in seeds:
+        config_s = SimulationConfig(
+            network=base.network, hdfs=base.hdfs, smarth=base.smarth, seed=seed
+        )
+        hdfs = run_upload(scenario, "hdfs", size, config=config_s)
+        smarth = run_upload(scenario, "smarth", size, config=config_s)
+        if not (hdfs.fully_replicated and smarth.fully_replicated):
+            raise RuntimeError(f"seed {seed}: upload under-replicated")
+        hdfs_times.append(hdfs.duration)
+        smarth_times.append(smarth.duration)
+        improvements.append((hdfs.duration / smarth.duration - 1) * 100)
+
+    return ReplicatedComparison(
+        scenario=scenario.name,
+        size=size,
+        hdfs=SeedSummary.from_samples(hdfs_times, confidence),
+        smarth=SeedSummary.from_samples(smarth_times, confidence),
+        improvement=SeedSummary.from_samples(improvements, confidence),
+    )

@@ -1,0 +1,91 @@
+"""Event journal: a structured trace of protocol-level events.
+
+Production distributed systems live and die by their observability; the
+simulator mirrors that with a lightweight journal every deployment owns.
+Components emit one :class:`TraceEvent` per protocol milestone — block
+allocation, pipeline open/close, FNFA, recovery, datanode death — and
+tests, examples and debugging sessions read the same stream.
+
+The journal is append-only and cheap (a list append per event); disable
+it for maximum-speed sweeps with ``journal.disable()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = ["TraceEvent", "Journal"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol milestone."""
+
+    time: float
+    kind: str
+    subject: str
+    details: dict = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        details = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:10.3f}s] {self.kind:<16s} {self.subject} {details}"
+
+
+class Journal:
+    """Append-only trace of a deployment's protocol events."""
+
+    def __init__(self, enabled: bool = True):
+        self._events: list[TraceEvent] = []
+        self._enabled = enabled
+
+    # -- control -----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    # -- writing ------------------------------------------------------------
+    def emit(self, time: float, kind: str, subject: str, **details: object) -> None:
+        if self._enabled:
+            self._events.append(TraceEvent(time, kind, subject, details))
+
+    # -- reading ------------------------------------------------------------
+    def events(
+        self, kind: Optional[str] = None, subject: Optional[str] = None
+    ) -> tuple[TraceEvent, ...]:
+        """Events in emission order, optionally filtered."""
+        return tuple(
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        )
+
+    def kinds(self) -> tuple[str, ...]:
+        return tuple(sorted({e.kind for e in self._events}))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self._events if e.kind == kind)
+
+    def between(self, start: float, end: float) -> tuple[TraceEvent, ...]:
+        return tuple(e for e in self._events if start <= e.time <= end)
+
+    def timeline(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering, newest last."""
+        events = self._events if limit is None else self._events[-limit:]
+        return "\n".join(str(e) for e in events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

@@ -1,0 +1,109 @@
+"""Cross-validation of the simulator against the §III-D cost model.
+
+Used by tests and ``benchmarks/bench_cost_model.py`` to demonstrate that
+the discrete-event simulator and the closed-form formulas agree in the
+regimes where the formulas' assumptions hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SimulationConfig
+from ..units import mbps
+from ..workloads.scenarios import Scenario, two_rack
+from ..workloads.upload import run_upload
+from .cost_model import CostParameters, hdfs_time, smarth_time_refined
+
+__all__ = ["ValidationPoint", "validate_hdfs", "validate_smarth"]
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One simulator-vs-model comparison."""
+
+    label: str
+    simulated: float
+    predicted: float
+
+    @property
+    def relative_error(self) -> float:
+        """(simulated - predicted) / predicted."""
+        return (self.simulated - self.predicted) / self.predicted
+
+
+def _cost_parameters(size: int, config: SimulationConfig) -> CostParameters:
+    return CostParameters(
+        file_size=size,
+        block_size=config.hdfs.block_size,
+        packet_size=config.hdfs.packet_size,
+        t_n=config.hdfs.namenode_rpc_latency,
+        # Disk writes and production overlap transmission in both the
+        # simulator and real HDFS; the network-bound regime has t_c,t_w=0.
+        t_c=0.0,
+        t_w=0.0,
+    )
+
+
+def validate_hdfs(
+    size: int,
+    throttle_mbps: float,
+    instance: str = "small",
+    config: Optional[SimulationConfig] = None,
+    scenario: Optional[Scenario] = None,
+) -> ValidationPoint:
+    """Compare a baseline upload against Formula (2).
+
+    With a two-rack throttle every pipeline crosses the boundary at least
+    once, so ``B_min`` is the throttle rate.
+    """
+    config = config or SimulationConfig()
+    scenario = scenario or two_rack(instance, throttle_mbps=throttle_mbps)
+    outcome = run_upload(scenario, "hdfs", size, config=config)
+    predicted = hdfs_time(_cost_parameters(size, config), mbps(throttle_mbps))
+    return ValidationPoint(
+        label=f"hdfs[{instance}@{throttle_mbps:g}Mbps]",
+        simulated=outcome.duration,
+        predicted=predicted,
+    )
+
+
+def validate_smarth(
+    size: int,
+    throttle_mbps: float,
+    instance: str = "small",
+    config: Optional[SimulationConfig] = None,
+) -> ValidationPoint:
+    """Compare a SMARTH upload against the refined Formula (3).
+
+    The refinement (see :func:`repro.analysis.cost_model.smarth_time_refined`)
+    models the §IV-C rotation over both racks' datanodes — the client's
+    effective first-hop rate is the harmonic mean of same-rack (NIC rate)
+    and cross-rack (throttle rate) hops — plus the aggregate drain cap of
+    ``n`` concurrent pipelines.
+    """
+    from ..cluster.instance import instance_by_name
+
+    config = config or SimulationConfig()
+    scenario = two_rack(instance, throttle_mbps=throttle_mbps)
+    outcome = run_upload(scenario, "smarth", size, config=config)
+
+    nic = instance_by_name(instance).network_rate
+    throttle = mbps(throttle_mbps)
+    # Algorithm 1 hands out a client-rack (full NIC) first datanode, but
+    # Algorithm 2 swaps the first with a replica node with probability
+    # 1 - threshold = 0.2, and replica nodes sit across the throttled
+    # boundary — so the first-hop rotation is a 4:1 fast/slow mix.
+    first_hop_rates = [nic] * 4 + [min(nic, throttle)]
+    predicted = smarth_time_refined(
+        _cost_parameters(size, config),
+        first_hop_rates=first_hop_rates,
+        drain_rate=throttle,
+        n_pipelines=3,
+    )
+    return ValidationPoint(
+        label=f"smarth[{instance}@{throttle_mbps:g}Mbps]",
+        simulated=outcome.duration,
+        predicted=predicted,
+    )

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``upload``      Run one upload through hdfs or smarth on a named scenario.
+``compare``     Run both systems and print the improvement.
+``experiment``  Regenerate one (or all) of the paper's tables/figures.
+``scenarios``   List the built-in scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .experiments import ALL_EXPERIMENTS, experiment_config
+from .hdfs import HdfsDeployment, HdfsReader
+from .smarth import SmarthDeployment
+from .units import fmt_rate, fmt_size, fmt_time, parse_size
+from .workloads import compare, contention, heterogeneous, run_upload, two_rack
+from .workloads.scenarios import Scenario
+
+__all__ = ["main", "build_parser"]
+
+
+def _scenario_from_args(args: argparse.Namespace) -> Scenario:
+    if args.scenario == "two-rack":
+        return two_rack(args.instance, throttle_mbps=args.throttle)
+    if args.scenario == "contention":
+        return contention(
+            args.instance, n_slow=args.slow_nodes, slow_mbps=args.slow_mbps
+        )
+    if args.scenario == "heterogeneous":
+        return heterogeneous()
+    raise ValueError(f"unknown scenario {args.scenario!r}")
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenario",
+        choices=("two-rack", "contention", "heterogeneous"),
+        default="two-rack",
+        help="cluster scenario (default: two-rack)",
+    )
+    parser.add_argument(
+        "--instance",
+        choices=("small", "medium", "large"),
+        default="small",
+        help="EC2 instance type for homogeneous scenarios",
+    )
+    parser.add_argument(
+        "--throttle",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="two-rack boundary throttle in Mbps (default: none)",
+    )
+    parser.add_argument(
+        "--slow-nodes", type=int, default=1, help="contention: slow datanodes"
+    )
+    parser.add_argument(
+        "--slow-mbps", type=float, default=50.0, help="contention: slow rate"
+    )
+    parser.add_argument(
+        "--size", default="1GB", help="upload size (e.g. 512MB, 8GB)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SMARTH reproduction: simulated HDFS uploads and the "
+        "paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    up = sub.add_parser("upload", help="run one upload")
+    _add_scenario_args(up)
+    up.add_argument(
+        "--system", choices=("hdfs", "smarth"), default="smarth"
+    )
+
+    roundtrip = sub.add_parser(
+        "roundtrip", help="upload then read the file back"
+    )
+    _add_scenario_args(roundtrip)
+    roundtrip.add_argument(
+        "--system", choices=("hdfs", "smarth"), default="smarth"
+    )
+
+    cmp_parser = sub.add_parser("compare", help="run both systems")
+    _add_scenario_args(cmp_parser)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper experiment")
+    exp.add_argument(
+        "id",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="table/figure id, or 'all'",
+    )
+    exp.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="file-size scale factor vs the paper's 8 GB points "
+        "(default 0.25)",
+    )
+
+    sub.add_parser("scenarios", help="list built-in scenarios")
+    return parser
+
+
+def _cmd_upload(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    size = parse_size(args.size)
+    outcome = run_upload(scenario, args.system, size, config=experiment_config())
+    result = outcome.result
+    print(f"scenario : {scenario.description}")
+    print(f"system   : {outcome.system}")
+    print(f"size     : {fmt_size(size)}")
+    print(f"time     : {fmt_time(result.duration)}")
+    print(f"goodput  : {fmt_rate(result.throughput)}")
+    print(f"blocks   : {result.n_blocks} "
+          f"(max {result.max_concurrent_pipelines} concurrent pipelines)")
+    print(f"replicated fully: {outcome.fully_replicated}")
+    return 0
+
+
+def _cmd_roundtrip(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    size = parse_size(args.size)
+    config = experiment_config()
+    env, cluster = scenario.make(config)
+    deployment = (
+        SmarthDeployment(cluster)
+        if args.system == "smarth"
+        else HdfsDeployment(cluster)
+    )
+    client = deployment.client()
+    write = env.run(until=env.process(client.put("/data/file.bin", size)))
+    env.run(until=env.now + 1)
+    reader = HdfsReader(deployment)
+    read = env.run(until=env.process(reader.get("/data/file.bin")))
+    print(f"scenario : {scenario.description}")
+    print(f"system   : {args.system}")
+    print(f"write    : {fmt_time(write.duration)} "
+          f"({fmt_rate(write.throughput)})")
+    print(f"read     : {fmt_time(read.duration)} "
+          f"({fmt_rate(read.throughput)})")
+    sources = sorted({s for _, s in read.sources})
+    print(f"read from: {', '.join(sources)}")
+    print(f"replicated fully: "
+          f"{deployment.namenode.file_fully_replicated('/data/file.bin')}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args)
+    size = parse_size(args.size)
+    hdfs, smarth, improvement = compare(
+        scenario, size, config=experiment_config()
+    )
+    print(f"scenario : {scenario.description}")
+    print(f"size     : {fmt_size(size)}")
+    print(f"hdfs     : {fmt_time(hdfs.duration)}")
+    print(f"smarth   : {fmt_time(smarth.duration)}")
+    print(f"improvement: {improvement:.0f}%")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ids = sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        driver = ALL_EXPERIMENTS[exp_id]
+        result = driver() if exp_id == "table1" else driver(scale=args.scale)
+        print(result.to_text())
+        print()
+    return 0
+
+
+def _cmd_scenarios(_args: argparse.Namespace) -> int:
+    for scenario in (
+        two_rack("small", throttle_mbps=100),
+        contention("small", n_slow=1),
+        heterogeneous(),
+    ):
+        print(f"{scenario.name:40s} {scenario.description}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "upload": _cmd_upload,
+        "roundtrip": _cmd_roundtrip,
+        "compare": _cmd_compare,
+        "experiment": _cmd_experiment,
+        "scenarios": _cmd_scenarios,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Cluster construction: the four evaluation clusters from §V-A.
+
+The paper uses:
+
+* three homogeneous clusters — one namenode + nine datanodes, of small,
+  medium or large instances;
+* one heterogeneous cluster — 3 small + 4 medium + 3 large, with a medium
+  instance as namenode (leaving 3 small + 3 medium + 3 large datanodes).
+
+The uploading *client* is a separate machine of the cluster's instance
+type (medium for the heterogeneous cluster, matching the namenode's
+type).  Nodes are split across two racks for the two-rack experiments:
+the client, namenode and the first ⌈n/2⌉ datanodes sit in ``rack0``, the
+rest in ``rack1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import SimulationConfig
+from ..net.throttle import NodeThrottle, RackBoundaryThrottle
+from ..net.topology import Topology
+from ..net.transport import Network
+from ..sim import Environment
+from ..units import mbps
+from .instance import LARGE, MEDIUM, SMALL, InstanceType, instance_by_name
+from .node import Node
+
+__all__ = ["Cluster", "build_homogeneous", "build_heterogeneous", "build_custom"]
+
+
+@dataclass
+class Cluster:
+    """The physical substrate an HDFS deployment runs on."""
+
+    env: Environment
+    network: Network
+    namenode_host: Node
+    datanode_hosts: list[Node]
+    client_host: Node
+    config: SimulationConfig
+    extra_client_hosts: list[Node] = field(default_factory=list)
+
+    @property
+    def topology(self) -> Topology:
+        return self.network.topology
+
+    @property
+    def all_hosts(self) -> list[Node]:
+        return (
+            [self.namenode_host, self.client_host]
+            + self.extra_client_hosts
+            + self.datanode_hosts
+        )
+
+    def host(self, name: str) -> Node:
+        """Look up any host by name."""
+        for node in self.all_hosts:
+            if node.name == name:
+                return node
+        raise KeyError(f"unknown host {name!r}")
+
+    def datanode_host(self, name: str) -> Node:
+        for node in self.datanode_hosts:
+            if node.name == name:
+                return node
+        raise KeyError(f"unknown datanode host {name!r}")
+
+    # -- tc-style throttling helpers ---------------------------------------
+    def throttle_rack_boundary(self, rate_mbps: float) -> None:
+        """Cap cross-rack traffic (two-rack scenario, §V-B.1)."""
+        self.network.throttles.add(RackBoundaryThrottle(mbps(rate_mbps)))
+
+    def throttle_node(self, name: str, rate_mbps: float) -> None:
+        """Cap one node's traffic in both directions (§V-B.2)."""
+        self.host(name)  # validate
+        self.network.throttles.add(NodeThrottle(name, mbps(rate_mbps)))
+
+    def throttle_datanodes(self, count: int, rate_mbps: float) -> list[str]:
+        """Cap the *last* ``count`` datanodes; returns their names.
+
+        Throttling the tail of the datanode list keeps the throttled set
+        deterministic and spread across both racks (the list alternates
+        by construction order, not rack).
+        """
+        if not 0 <= count <= len(self.datanode_hosts):
+            raise ValueError(
+                f"count must be in [0, {len(self.datanode_hosts)}], got {count}"
+            )
+        chosen = [n.name for n in self.datanode_hosts[-count:]] if count else []
+        for name in chosen:
+            self.throttle_node(name, rate_mbps)
+        return chosen
+
+
+def _resolve(instance: InstanceType | str) -> InstanceType:
+    return instance_by_name(instance) if isinstance(instance, str) else instance
+
+
+def build_homogeneous(
+    env: Environment,
+    instance: InstanceType | str = SMALL,
+    n_datanodes: int = 9,
+    config: SimulationConfig | None = None,
+    racks: int = 2,
+    n_local: int | None = None,
+    n_extra_clients: int = 0,
+) -> Cluster:
+    """One namenode + ``n_datanodes`` datanodes + one client, all of one type.
+
+    The namenode and client live in ``rack0`` together with ``n_local``
+    datanodes; the rest go to ``rack1`` (and further racks round-robin).
+    ``n_local`` defaults to a balanced split (⌈n/2⌉ — the paper does not
+    state its split, and EC2 'racks' were emulated with tc, so balanced is
+    the natural reading; 9 datanodes → 5 local + 4 remote).  Pass a
+    different ``n_local`` to study asymmetric layouts.
+    """
+    itype = _resolve(instance)
+    if n_datanodes < 1:
+        raise ValueError("need at least one datanode")
+    if racks < 1:
+        raise ValueError("need at least one rack")
+    config = config or SimulationConfig()
+    if n_local is None:
+        n_local = n_datanodes - n_datanodes // 2
+    if not 0 <= n_local <= n_datanodes:
+        raise ValueError(f"n_local must be in [0, {n_datanodes}]")
+
+    topo = Topology()
+    namenode = Node(env, "namenode", itype, rack="rack0")
+    client = Node(env, "client", itype, rack="rack0")
+    topo.add_host("namenode", "rack0")
+    topo.add_host("client", "rack0")
+
+    extra_clients = []
+    for i in range(n_extra_clients):
+        name = f"client{i + 1}"
+        extra = Node(env, name, itype, rack="rack0")
+        topo.add_host(name, "rack0")
+        extra_clients.append(extra)
+
+    datanodes = []
+    for i in range(n_datanodes):
+        if racks == 1 or i < n_local:
+            rack = "rack0"
+        else:
+            rack = f"rack{1 + (i - n_local) % (racks - 1)}"
+        node = Node(env, f"dn{i}", itype, rack=rack)
+        topo.add_host(node.name, rack)
+        datanodes.append(node)
+
+    network = Network(env, topo, config=config.network)
+    return Cluster(
+        env=env,
+        network=network,
+        namenode_host=namenode,
+        datanode_hosts=datanodes,
+        client_host=client,
+        config=config,
+        extra_client_hosts=extra_clients,
+    )
+
+
+def build_heterogeneous(
+    env: Environment,
+    config: SimulationConfig | None = None,
+    racks: int = 2,
+) -> Cluster:
+    """The paper's mixed cluster: 3 small + 3 medium + 3 large datanodes.
+
+    One medium instance is the namenode (§V-A); the client is medium too.
+    Instance types interleave across the balanced two-rack split so
+    neither rack is uniformly fast.
+    """
+    config = config or SimulationConfig()
+    topo = Topology()
+    namenode = Node(env, "namenode", MEDIUM, rack="rack0")
+    client = Node(env, "client", MEDIUM, rack="rack0")
+    topo.add_host("namenode", "rack0")
+    topo.add_host("client", "rack0")
+
+    mix = [SMALL, MEDIUM, LARGE] * 3
+    n_local = len(mix) - len(mix) // 2
+    datanodes = []
+    for i, itype in enumerate(mix):
+        if racks == 1 or i < n_local:
+            rack = "rack0"
+        else:
+            rack = f"rack{1 + (i - n_local) % (racks - 1)}"
+        node = Node(env, f"dn{i}", itype, rack=rack)
+        topo.add_host(node.name, rack)
+        datanodes.append(node)
+
+    network = Network(env, topo, config=config.network)
+    return Cluster(
+        env=env,
+        network=network,
+        namenode_host=namenode,
+        datanode_hosts=datanodes,
+        client_host=client,
+        config=config,
+    )
+
+
+def build_custom(
+    env: Environment,
+    datanode_specs: list[tuple[str, InstanceType | str, str]],
+    client_instance: InstanceType | str = MEDIUM,
+    namenode_instance: InstanceType | str = MEDIUM,
+    config: SimulationConfig | None = None,
+    client_rack: str = "rack0",
+) -> Cluster:
+    """Fully explicit layout: ``datanode_specs`` is [(name, type, rack), …]."""
+    if not datanode_specs:
+        raise ValueError("need at least one datanode spec")
+    config = config or SimulationConfig()
+    topo = Topology()
+
+    namenode = Node(env, "namenode", _resolve(namenode_instance), rack=client_rack)
+    client = Node(env, "client", _resolve(client_instance), rack=client_rack)
+    topo.add_host("namenode", client_rack)
+    topo.add_host("client", client_rack)
+
+    datanodes = []
+    for name, itype, rack in datanode_specs:
+        node = Node(env, name, _resolve(itype), rack=rack)
+        topo.add_host(name, rack)
+        datanodes.append(node)
+
+    network = Network(env, topo, config=config.network)
+    return Cluster(
+        env=env,
+        network=network,
+        namenode_host=namenode,
+        datanode_hosts=datanodes,
+        client_host=client,
+        config=config,
+    )

@@ -1,0 +1,54 @@
+"""Local-disk model.
+
+A datanode writes each received packet to its ephemeral store (``T_w`` in
+the paper's cost model, §III-D).  The disk is a serializing channel at a
+fixed sequential-write rate; concurrent writers queue, so a node receiving
+blocks from several pipelines (not allowed for one client in SMARTH, but
+possible across clients) shares disk bandwidth realistically.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, ProcessGenerator, Resource
+
+__all__ = ["Disk"]
+
+
+class Disk:
+    """A serializing write channel with a fixed rate."""
+
+    def __init__(self, env: Environment, rate: float, name: str = "disk"):
+        if rate <= 0:
+            raise ValueError(f"disk rate must be positive, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        self._channel = Resource(env, capacity=1)
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    def write(self, size: int) -> ProcessGenerator:
+        """Write ``size`` bytes; takes ``size / rate`` once admitted."""
+        if size < 0:
+            raise ValueError(f"write size must be non-negative, got {size}")
+        with self._channel.request() as grant:
+            yield grant
+            yield self.env.timeout(size / self.rate)
+            self.bytes_written += size
+
+    def read(self, size: int) -> ProcessGenerator:
+        """Read ``size`` bytes; shares the sequential channel with writes."""
+        if size < 0:
+            raise ValueError(f"read size must be non-negative, got {size}")
+        with self._channel.request() as grant:
+            yield grant
+            yield self.env.timeout(size / self.rate)
+            self.bytes_read += size
+
+    @property
+    def queue_len(self) -> int:
+        """Writes waiting for the channel (used to detect disk pressure)."""
+        return self._channel.queue_len
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Disk {self.name} rate={self.rate:.0f} B/s>"

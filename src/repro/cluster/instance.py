@@ -1,0 +1,137 @@
+"""Amazon EC2 instance catalog — the paper's Table I.
+
++---------------+---------+------+--------------------+
+| Instance Type | Memory  | ECUs | Network            |
++===============+=========+======+====================+
+| Small         | 1.7 GB  | 1    | ≈ 216 Mbps         |
+| Medium        | 3.75 GB | 2    | ≈ 376 Mbps         |
+| Large         | 7.5 GB  | 4    | ≈ 376 Mbps         |
++---------------+---------+------+--------------------+
+
+One ECU ≈ a 1.0–1.2 GHz 2007 Opteron/Xeon core.  Beyond Table I the model
+needs two rates the paper discusses but does not tabulate:
+
+* ``disk_rate`` — EC2 ephemeral-storage sequential write throughput
+  (``T_w`` per packet).  Era-appropriate ephemeral disks sustain roughly
+  90–120 MB/s; we use 100 MB/s so the disk is never the bottleneck (the
+  paper's experiments are all network-bound).
+* ``production_rate`` — how fast the client can read local data, checksum
+  it and form packets (``T_c`` per packet).  §III-D observes "to produce
+  a packet is very fast compared with the speed to send a packet", so the
+  rate scales with ECUs and comfortably exceeds every NIC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import MB, gigabytes, mbps
+
+__all__ = [
+    "InstanceType",
+    "SMALL",
+    "MEDIUM",
+    "LARGE",
+    "INSTANCE_CATALOG",
+    "instance_by_name",
+    "STORAGE_PRESETS",
+    "with_storage",
+]
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """Static description of an EC2 instance type."""
+
+    name: str
+    #: RAM in bytes (Table I).
+    memory: int
+    #: Elastic Compute Units (Table I).
+    ecus: int
+    #: NIC line rate, bytes/second (Table I "Network" column).
+    network_rate: float
+    #: Ephemeral-storage sequential write rate, bytes/second.
+    disk_rate: float
+    #: Packet production rate (local read + checksum), bytes/second.
+    production_rate: float
+
+    def __post_init__(self) -> None:
+        if self.memory <= 0 or self.ecus <= 0:
+            raise ValueError("memory and ecus must be positive")
+        if min(self.network_rate, self.disk_rate, self.production_rate) <= 0:
+            raise ValueError("all rates must be positive")
+
+
+SMALL = InstanceType(
+    name="small",
+    memory=int(gigabytes(1.7)),
+    ecus=1,
+    network_rate=mbps(216),
+    disk_rate=100 * MB,
+    production_rate=400 * MB,
+)
+
+MEDIUM = InstanceType(
+    name="medium",
+    memory=int(gigabytes(3.75)),
+    ecus=2,
+    network_rate=mbps(376),
+    disk_rate=100 * MB,
+    production_rate=800 * MB,
+)
+
+LARGE = InstanceType(
+    name="large",
+    memory=int(gigabytes(7.5)),
+    ecus=4,
+    network_rate=mbps(376),
+    disk_rate=100 * MB,
+    production_rate=1600 * MB,
+)
+
+INSTANCE_CATALOG: dict[str, InstanceType] = {
+    t.name: t for t in (SMALL, MEDIUM, LARGE)
+}
+
+
+#: Storage-platform presets (the paper's future work mentions evaluating
+#: SMARTH on RAID and SSD): sequential-write rates in bytes/second.
+STORAGE_PRESETS: dict[str, float] = {
+    "hdd-slow": 20 * MB,  # a tired magnetic disk — below every NIC rate
+    "ephemeral": 100 * MB,  # EC2 ephemeral storage (the default)
+    "ssd": 400 * MB,
+    "raid0": 800 * MB,
+}
+
+
+def with_storage(base: InstanceType, storage: str | float) -> InstanceType:
+    """A copy of ``base`` on a different storage platform.
+
+    ``storage`` is a :data:`STORAGE_PRESETS` key or a rate in bytes/second.
+    """
+    from dataclasses import replace
+
+    if isinstance(storage, str):
+        try:
+            rate = STORAGE_PRESETS[storage]
+        except KeyError:
+            raise KeyError(
+                f"unknown storage preset {storage!r}; expected one of "
+                f"{sorted(STORAGE_PRESETS)}"
+            ) from None
+        label = storage
+    else:
+        rate = float(storage)
+        label = f"{rate / MB:g}MBps"
+    return replace(base, name=f"{base.name}+{label}", disk_rate=rate)
+
+
+def instance_by_name(name: str) -> InstanceType:
+    """Look up an instance type by its Table I name (case-insensitive)."""
+    try:
+        return INSTANCE_CATALOG[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown instance type {name!r}; expected one of "
+            f"{sorted(INSTANCE_CATALOG)}"
+        ) from None

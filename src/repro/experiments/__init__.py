@@ -1,0 +1,41 @@
+"""Experiment drivers reproducing every table and figure of the paper."""
+
+from .figures import (
+    ALL_EXPERIMENTS,
+    experiment_config,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table1,
+)
+from .paper_data import PAPER_CLAIMS, TABLE1
+from .report import ExperimentResult, format_table, render_bars
+from .runner import run_all, to_markdown
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "experiment_config",
+    "table1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "PAPER_CLAIMS",
+    "TABLE1",
+    "ExperimentResult",
+    "format_table",
+    "render_bars",
+    "run_all",
+    "to_markdown",
+]

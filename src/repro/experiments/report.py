@@ -1,0 +1,89 @@
+"""Experiment result containers and plain-text reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "render_bars"]
+
+
+def render_bars(
+    rows: Sequence[dict],
+    value_key: str,
+    label_key: str = "label",
+    width: int = 48,
+    unit: str = "",
+) -> str:
+    """Render one numeric column as a horizontal ASCII bar chart.
+
+    The experiments are figures in the paper; this gives the CLI and the
+    examples a way to *show* a series, not just tabulate it.
+    """
+    values = [float(r[value_key]) for r in rows]
+    if not values:
+        raise ValueError("no rows to render")
+    peak = max(values)
+    if peak <= 0:
+        peak = 1.0
+    labels = [str(r.get(label_key, "")) for r in rows]
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if value > 0 else ""
+        lines.append(
+            f"{label.rjust(label_width)} | {bar} {value:g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[dict]) -> str:
+    """Render rows as an aligned text table (same series the paper plots)."""
+    table = [[str(r.get(c, "")) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in table)) if table else len(c)
+        for i, c in enumerate(columns)
+    ]
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    lines = [fmt(list(columns)), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in table)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[dict]
+    #: What the paper reports (from repro.experiments.paper_data).
+    paper_claim: dict = field(default_factory=dict)
+    #: Headline numbers we measured, keyed like the paper's claims.
+    measured: dict = field(default_factory=dict)
+    notes: str = ""
+
+    def to_text(self) -> str:
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            format_table(self.columns, self.rows),
+        ]
+        if self.paper_claim.get("claim"):
+            parts.append(f"paper   : {self.paper_claim['claim']}")
+        if self.measured:
+            measured = ", ".join(f"{k}={v}" for k, v in self.measured.items())
+            parts.append(f"measured: {measured}")
+        if self.notes:
+            parts.append(f"notes   : {self.notes}")
+        return "\n".join(parts)
+
+    def chart(self, value_key: Optional[str] = None, width: int = 48) -> str:
+        """ASCII bar chart of one numeric column (defaults to the last)."""
+        key = value_key or self.columns[-1]
+        label_key = self.columns[0]
+        return render_bars(
+            self.rows, value_key=key, label_key=label_key, width=width
+        )

@@ -1,0 +1,5 @@
+"""Fault injection for upload experiments."""
+
+from .injector import FaultEvent, FaultInjector
+
+__all__ = ["FaultInjector", "FaultEvent"]

@@ -1,0 +1,146 @@
+"""Scheduled fault injection for upload experiments.
+
+Supports killing a named datanode at a fixed simulated time, killing
+"whichever datanode is busy" (useful because placement is randomized), and
+reviving nodes later.  All injections are plain simulation processes, so
+they compose with any workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..hdfs.deployment import HdfsDeployment
+from ..sim import Environment, ProcessGenerator
+
+__all__ = ["FaultEvent", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of one executed injection."""
+
+    at: float
+    kind: str
+    datanode: Optional[str]
+
+
+@dataclass
+class FaultInjector:
+    """Schedules datanode faults against a deployment."""
+
+    deployment: HdfsDeployment
+    events: list[FaultEvent] = field(default_factory=list)
+
+    @property
+    def env(self) -> Environment:
+        return self.deployment.env
+
+    # -- injection schedules -------------------------------------------------
+    def kill_at(self, name: str, at: float) -> None:
+        """Crash datanode ``name`` at simulated time ``at``."""
+        self.deployment.datanode(name)  # validate early
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(at)
+            datanode = self.deployment.datanode(name)
+            if datanode.node.alive:
+                datanode.kill()
+                self.events.append(FaultEvent(env.now, "kill", name))
+
+        self.env.process(proc(self.env), name=f"fault:kill:{name}")
+
+    def kill_busy_at(
+        self,
+        at: float,
+        pick: int = 0,
+        predicate: Optional[Callable[[str], bool]] = None,
+    ) -> None:
+        """Crash the ``pick``-th datanode with active receivers at ``at``.
+
+        Placement is randomized, so experiments usually want "a node that
+        is actually mid-pipeline" rather than a fixed name.  ``predicate``
+        further filters candidates by name.
+        """
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(at)
+            busy = [
+                d
+                for d in self.deployment.datanodes.values()
+                if d.active_receivers > 0
+                and d.node.alive
+                and (predicate is None or predicate(d.name))
+            ]
+            if busy:
+                victim = busy[min(pick, len(busy) - 1)]
+                victim.kill()
+                self.events.append(FaultEvent(env.now, "kill_busy", victim.name))
+            else:
+                self.events.append(FaultEvent(env.now, "kill_busy_noop", None))
+
+        self.env.process(proc(self.env), name="fault:kill_busy")
+
+    def throttle_at(self, name: str, rate_mbps: float, at: float) -> None:
+        """Degrade one datanode's bandwidth at time ``at`` (§III-C's
+        'network status varies all the time').
+
+        Effective rates are evaluated per transfer, so in-flight packets
+        finish at the old rate and everything after sees the new one —
+        like a tenant suddenly saturating the NIC.
+        """
+        from ..net.throttle import NodeThrottle
+        from ..units import mbps
+
+        self.deployment.datanode(name)  # validate early
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(at)
+            self.deployment.network.throttles.add(
+                NodeThrottle(name, mbps(rate_mbps))
+            )
+            self.events.append(FaultEvent(env.now, "throttle", name))
+
+        self.env.process(proc(self.env), name=f"fault:throttle:{name}")
+
+    def unthrottle_at(self, name: str, at: float) -> None:
+        """Remove every dynamic throttle on ``name`` at time ``at``."""
+        from ..net.throttle import NodeThrottle
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(at)
+            removed = self.deployment.network.throttles.remove_matching(
+                lambda r: isinstance(r, NodeThrottle) and r.node_name == name
+            )
+            if removed:
+                self.events.append(FaultEvent(env.now, "unthrottle", name))
+
+        self.env.process(proc(self.env), name=f"fault:unthrottle:{name}")
+
+    def revive_at(self, name: str, at: float) -> None:
+        """Bring a crashed datanode's machine back at ``at``.
+
+        The datanode rejoins on its next heartbeat (namenode-side liveness
+        is heartbeat-driven); in-flight pipelines it belonged to are not
+        resurrected — matching a real restart.
+        """
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(at)
+            datanode = self.deployment.datanode(name)
+            if not datanode.node.alive:
+                datanode.node.recover()
+                datanode.register_heartbeats_again()
+                self.events.append(FaultEvent(env.now, "revive", name))
+
+        self.env.process(proc(self.env), name=f"fault:revive:{name}")
+
+    # -- queries ------------------------------------------------------------
+    def killed(self) -> tuple[str, ...]:
+        """Names of datanodes actually crashed, in order."""
+        return tuple(
+            e.datanode
+            for e in self.events
+            if e.kind.startswith("kill") and e.datanode
+        )

@@ -1,0 +1,91 @@
+"""Administrative operations: graceful datanode decommissioning.
+
+Mirrors HDFS's exclude-file workflow: the operator marks a datanode
+*decommissioning*; the namenode stops placing new replicas there while
+the node keeps serving reads and acts as a replication source; its
+blocks are copied to other datanodes; once every block is sufficiently
+replicated elsewhere, the node flips to *decommissioned* and can be
+powered off with zero data loss.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import ProcessGenerator
+from .replication import copy_block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deployment import HdfsDeployment
+
+__all__ = ["DecommissionManager"]
+
+
+class DecommissionManager:
+    """Drains one datanode's replicas onto the rest of the cluster."""
+
+    def __init__(self, deployment: "HdfsDeployment", interval: Optional[float] = None):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.namenode = deployment.namenode
+        self.interval = interval or deployment.config.hdfs.heartbeat_interval
+        self.rng = random.Random(deployment.config.seed ^ 0xDEC0)
+        #: (block_id, target) copies performed per drained node.
+        self.copies: dict[str, list[tuple[int, str]]] = {}
+
+    def decommission(self, name: str) -> ProcessGenerator:
+        """Drive ``name`` from live to decommissioned (a process).
+
+        Returns the number of block copies performed.
+        """
+        manager = self.namenode.datanodes
+        blocks = self.namenode.blocks
+        manager.start_decommission(name)
+        self.copies[name] = []
+
+        while True:
+            pending = self._under_protected(name)
+            if not pending:
+                break
+            for block_id in pending:
+                target = self._pick_target(block_id, avoid=name)
+                if target is None:
+                    raise RuntimeError(
+                        f"decommission {name}: no target for block {block_id}"
+                    )
+                ok = yield from copy_block(
+                    self.deployment, block_id, source=name, target=target
+                )
+                if ok:
+                    self.copies[name].append((block_id, target))
+            yield self.env.timeout(self.interval)
+
+        manager.decommission(name)
+        return len(self.copies[name])
+
+    # ------------------------------------------------------------------
+    def _under_protected(self, name: str) -> list[int]:
+        """Blocks whose off-``name`` replica count is below target."""
+        blocks = self.namenode.blocks
+        manager = self.namenode.datanodes
+        required = self.deployment.config.hdfs.replication
+        pending = []
+        for block_id in blocks.blocks_on(name):
+            elsewhere = [
+                d
+                for d in blocks.locations(block_id)
+                if d != name and manager.is_alive(d)
+            ]
+            if name in blocks.locations(block_id) and len(elsewhere) < required:
+                pending.append(block_id)
+        return pending
+
+    def _pick_target(self, block_id: int, avoid: str) -> Optional[str]:
+        blocks = self.namenode.blocks
+        manager = self.namenode.datanodes
+        holders = set(blocks.locations(block_id)) | {avoid}
+        candidates = [d for d in manager.live_datanodes() if d not in holders]
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]

@@ -1,0 +1,114 @@
+"""The HDFS balancer: even out replica distribution across datanodes.
+
+Write patterns skew storage: the default policy favours the client's
+rack, and SMARTH's Algorithm 1 concentrates first replicas on fast
+nodes.  Hadoop ships ``hdfs balancer`` to fix the skew offline; this is
+its analogue.  The balancer repeatedly moves one replica from the most-
+to the least-loaded datanode (never breaking replication or co-locating
+two replicas of a block) until utilization spread falls under a
+threshold.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import ProcessGenerator
+from .replication import copy_block
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deployment import HdfsDeployment
+
+__all__ = ["Balancer", "BalanceReport"]
+
+
+@dataclass
+class BalanceReport:
+    """Outcome of one balancer run."""
+
+    moves: list[tuple[int, str, str]] = field(default_factory=list)
+    initial_spread: int = 0
+    final_spread: int = 0
+
+    @property
+    def n_moves(self) -> int:
+        return len(self.moves)
+
+
+class Balancer:
+    """Iteratively move replicas from hot to cold datanodes."""
+
+    def __init__(
+        self,
+        deployment: "HdfsDeployment",
+        threshold_blocks: int = 1,
+        max_moves: int = 1000,
+    ):
+        if threshold_blocks < 1:
+            raise ValueError("threshold_blocks must be >= 1")
+        self.deployment = deployment
+        self.env = deployment.env
+        self.namenode = deployment.namenode
+        self.threshold = threshold_blocks
+        self.max_moves = max_moves
+        self.rng = random.Random(deployment.config.seed ^ 0xBA1A)
+
+    # ------------------------------------------------------------------
+    def utilization(self) -> dict[str, int]:
+        """Finalized-replica count per live datanode."""
+        blocks = self.namenode.blocks
+        manager = self.namenode.datanodes
+        counts = {d: 0 for d in manager.live_datanodes()}
+        for name in counts:
+            counts[name] = sum(
+                1
+                for bid in blocks.blocks_on(name)
+                if name in blocks.locations(bid)
+            )
+        return counts
+
+    def spread(self) -> int:
+        counts = self.utilization()
+        if not counts:
+            return 0
+        return max(counts.values()) - min(counts.values())
+
+    # ------------------------------------------------------------------
+    def run(self) -> ProcessGenerator:
+        """Balance until the spread is within threshold (a process)."""
+        report = BalanceReport(initial_spread=self.spread())
+        while report.n_moves < self.max_moves:
+            move = self._plan_one_move()
+            if move is None:
+                break
+            block_id, source, target = move
+            ok = yield from copy_block(
+                self.deployment, block_id, source, target
+            )
+            if ok:
+                # The move is copy-then-delete, like the real balancer.
+                self.namenode.blocks.drop_replica(block_id, source)
+                report.moves.append(move)
+        report.final_spread = self.spread()
+        return report
+
+    def _plan_one_move(self) -> Optional[tuple[int, str, str]]:
+        counts = self.utilization()
+        if len(counts) < 2:
+            return None
+        hot = max(counts, key=lambda d: counts[d])
+        cold = min(counts, key=lambda d: counts[d])
+        if counts[hot] - counts[cold] <= self.threshold:
+            return None
+        blocks = self.namenode.blocks
+        movable = [
+            bid
+            for bid in blocks.blocks_on(hot)
+            if hot in blocks.locations(bid)
+            and cold not in blocks.locations(bid)
+        ]
+        if not movable:
+            return None
+        return movable[self.rng.randrange(len(movable))], hot, cold

@@ -1,0 +1,131 @@
+"""Block and replica bookkeeping on the namenode.
+
+Tracks where every block's replicas live, how many bytes each replica has
+confirmed, and block lifecycle (under construction → complete).  Fault
+experiments use :meth:`BlockManager.remove_datanode` to drop replicas of a
+dead node and :meth:`BlockManager.under_replicated` to check the damage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from .protocol import Block, BlockState, FileNotFound
+
+__all__ = ["ReplicaInfo", "BlockInfo", "BlockManager"]
+
+
+@dataclass
+class ReplicaInfo:
+    """One datanode's copy of a block."""
+
+    datanode: str
+    bytes_confirmed: int = 0
+    finalized: bool = False
+
+
+@dataclass
+class BlockInfo:
+    """Namenode-side state of one block."""
+
+    block: Block
+    state: BlockState = BlockState.UNDER_CONSTRUCTION
+    replicas: dict[str, ReplicaInfo] = field(default_factory=dict)
+
+    @property
+    def finalized_replicas(self) -> int:
+        return sum(1 for r in self.replicas.values() if r.finalized)
+
+
+class BlockManager:
+    """Allocates block IDs and tracks replica state."""
+
+    def __init__(self, start_id: int = 1000):
+        self._ids = count(start_id)
+        self._blocks: dict[int, BlockInfo] = {}
+
+    # -- allocation ----------------------------------------------------------
+    def allocate(self, path: str, index: int, size: int) -> Block:
+        """Mint a new block for ``path``."""
+        block = Block(block_id=next(self._ids), path=path, index=index, size=size)
+        self._blocks[block.block_id] = BlockInfo(block=block)
+        return block
+
+    def expect_replicas(self, block_id: int, datanodes: tuple[str, ...]) -> None:
+        """Record the pipeline targets as pending replica locations."""
+        info = self._get(block_id)
+        for dn in datanodes:
+            info.replicas.setdefault(dn, ReplicaInfo(datanode=dn))
+
+    def bump_generation(self, block_id: int) -> Block:
+        """Recovery: new generation stamp invalidates stale replicas."""
+        info = self._get(block_id)
+        info.block = info.block.with_generation(info.block.generation + 1)
+        return info.block
+
+    # -- replica reports -------------------------------------------------------
+    def replica_received(self, block_id: int, datanode: str, size: int) -> None:
+        """A datanode reports a finalized replica (blockReceived)."""
+        info = self._get(block_id)
+        replica = info.replicas.setdefault(datanode, ReplicaInfo(datanode=datanode))
+        replica.bytes_confirmed = size
+        replica.finalized = True
+
+    def drop_replica(self, block_id: int, datanode: str) -> None:
+        """Forget one replica (failed datanode removed from a pipeline)."""
+        info = self._get(block_id)
+        info.replicas.pop(datanode, None)
+
+    def commit(self, block_id: int) -> None:
+        """Mark the block complete (client finished, replicas confirmed)."""
+        info = self._get(block_id)
+        info.state = BlockState.COMPLETE
+
+    # -- queries ----------------------------------------------------------------
+    def info(self, block_id: int) -> BlockInfo:
+        return self._get(block_id)
+
+    def locations(self, block_id: int) -> tuple[str, ...]:
+        """Datanodes holding a finalized replica, sorted."""
+        info = self._get(block_id)
+        return tuple(sorted(d for d, r in info.replicas.items() if r.finalized))
+
+    def replication_of(self, block_id: int) -> int:
+        return self._get(block_id).finalized_replicas
+
+    def under_replicated(self, required: int) -> tuple[int, ...]:
+        """Block IDs with fewer than ``required`` finalized replicas."""
+        return tuple(
+            sorted(
+                bid
+                for bid, info in self._blocks.items()
+                if info.finalized_replicas < required
+            )
+        )
+
+    def blocks_on(self, datanode: str) -> tuple[int, ...]:
+        """All block IDs with a (possibly pending) replica on ``datanode``."""
+        return tuple(
+            sorted(
+                bid
+                for bid, info in self._blocks.items()
+                if datanode in info.replicas
+            )
+        )
+
+    def remove_datanode(self, datanode: str) -> tuple[int, ...]:
+        """Drop every replica on a dead datanode; returns affected blocks."""
+        affected = self.blocks_on(datanode)
+        for bid in affected:
+            self.drop_replica(bid, datanode)
+        return affected
+
+    def _get(self, block_id: int) -> BlockInfo:
+        try:
+            return self._blocks[block_id]
+        except KeyError:
+            raise FileNotFound(f"unknown block {block_id}") from None
+
+    def __len__(self) -> int:
+        return len(self._blocks)

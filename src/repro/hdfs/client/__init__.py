@@ -1,0 +1,21 @@
+"""Client-side HDFS write path (baseline Hadoop 1.0.3 semantics)."""
+
+from .data_streamer import HdfsClient
+from .input_stream import BlockUnavailable, HdfsReader, ReadResult
+from .output_stream import BlockPlan, ChunkSpec, plan_file, producer
+from .recovery import RecoveryFailed, recover_pipeline
+from .responder import PacketResponder
+
+__all__ = [
+    "HdfsClient",
+    "HdfsReader",
+    "ReadResult",
+    "BlockUnavailable",
+    "PacketResponder",
+    "BlockPlan",
+    "ChunkSpec",
+    "plan_file",
+    "producer",
+    "recover_pipeline",
+    "RecoveryFailed",
+]

@@ -1,0 +1,195 @@
+"""The baseline HDFS client: single-pipeline, stop-and-wait at block
+boundaries (§II, Figure 1/Figure 3).
+
+For each block, the client asks the namenode for targets, builds ONE
+pipeline, streams every packet through it, and then **waits for the ACKs
+of all packets from all datanodes** before requesting the next block —
+the idle time SMARTH eliminates.  Fault handling follows Algorithm 3 via
+:mod:`repro.hdfs.client.recovery`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...cluster.node import Node
+from ...sim import ProcessGenerator, Store
+from ..deployment import HdfsDeployment, PipelineHandle
+from ..protocol import Block, Packet, WriteResult
+from .output_stream import DATA_QUEUE_PACKETS, plan_file, producer
+from .recovery import recover_pipeline
+from .responder import PacketResponder
+
+__all__ = ["HdfsClient"]
+
+
+class HdfsClient:
+    """Baseline write client (the paper's unmodified Hadoop 1.0.3)."""
+
+    system = "hdfs"
+
+    def __init__(
+        self,
+        deployment: HdfsDeployment,
+        host: Optional[Node] = None,
+        name: Optional[str] = None,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.network = deployment.network
+        self.config = deployment.config
+        self.node = host or deployment.cluster.client_host
+        self.name = name or self.node.name
+
+    # ------------------------------------------------------------------
+    def put(self, path: str, size: int) -> ProcessGenerator:
+        """Upload ``size`` bytes to ``path``; returns a WriteResult.
+
+        Drive it with ``env.run(until=env.process(client.put(...)))``.
+        """
+        hdfs_cfg = self.config.hdfs
+        namenode = self.deployment.namenode
+        start = self.env.now
+
+        # Step 1: create the namespace entry.
+        yield from namenode.create_file(self.name, path)
+
+        # Step 2: producer starts filling the data queue.
+        plans = plan_file(size, hdfs_cfg)
+        data_queue: Store = Store(self.env, capacity=DATA_QUEUE_PACKETS)
+        self.env.process(
+            producer(self.env, self.node, plans, data_queue),
+            name=f"producer:{path}",
+        )
+
+        pipelines: list[tuple[str, ...]] = []
+        recoveries = 0
+        blacklist: set[str] = set()
+
+        for plan in plans:
+            result = yield from namenode.add_block(
+                self.name, path, plan.size, excluded=blacklist
+            )
+            block, targets = result.block, result.targets
+
+            produced: dict[int, Packet] = {}
+            acked_seqs: set[int] = set()
+
+            while True:  # retry loop around pipeline failures
+                handle = self.deployment.open_pipeline(
+                    block,
+                    targets,
+                    self.node,
+                    buffer_bytes=hdfs_cfg.socket_buffer,
+                    initial_bytes=sum(produced[s].size for s in acked_seqs),
+                )
+                yield self.env.process(
+                    self.network.connection_setup(len(targets))
+                )
+                responder = PacketResponder(self.env, block, handle.ack_in)
+
+                failed = yield from self._stream_block(
+                    plan, block, handle, responder, produced, acked_seqs, data_queue
+                )
+                if failed is None:
+                    break
+
+                # Algorithm 3: teardown, requeue un-ACKed, recover, retry.
+                recoveries += 1
+                blacklist.add(failed)
+                handle.teardown()
+                responder.stop()
+                responder.unacked_packets()  # drained; resent via acked_seqs
+                acked_bytes = sum(produced[s].size for s in acked_seqs)
+                block, targets = yield from recover_pipeline(
+                    self.deployment,
+                    self.name,
+                    block,
+                    targets,
+                    failed,
+                    acked_bytes,
+                    blacklist,
+                )
+                produced = {
+                    seq: Packet(block, pkt.seq, pkt.size, pkt.is_last)
+                    for seq, pkt in produced.items()
+                }
+
+            pipelines.append(targets)
+
+        # Steps 5–6: close the stream and complete the file.
+        yield from namenode.complete_file(self.name, path)
+
+        return WriteResult(
+            path=path,
+            size=size,
+            start=start,
+            end=self.env.now,
+            n_blocks=len(plans),
+            system=self.system,
+            pipelines=pipelines,
+            max_concurrent_pipelines=1,
+            recoveries=recoveries,
+        )
+
+    # ------------------------------------------------------------------
+    def _stream_block(
+        self,
+        plan,
+        block: Block,
+        handle: PipelineHandle,
+        responder: PacketResponder,
+        produced: dict[int, Packet],
+        acked_seqs: set[int],
+        data_queue: Store,
+    ) -> ProcessGenerator:
+        """Send one block's packets and wait for all ACKs (stop-and-wait).
+
+        Returns ``None`` on success or the failed datanode's name.
+        """
+        to_send = [s for s in range(plan.n_packets) if s not in acked_seqs]
+        for seq in to_send:
+            packet = produced.get(seq)
+            if packet is None:
+                chunk = yield data_queue.get()
+                packet = Packet(
+                    block=block,
+                    seq=chunk.seq,
+                    size=chunk.size,
+                    is_last=chunk.is_last_in_block,
+                )
+                produced[seq] = packet
+
+            send = self.env.process(
+                self._send_packet(handle, packet), name=f"send:{seq}"
+            )
+            yield send | handle.error
+            if handle.error.triggered:
+                if send.is_alive:
+                    send.interrupt("pipeline failed")
+                self._note_acked(responder, acked_seqs, to_send)
+                return handle.error.value
+            responder.packet_sent(packet)
+
+        # §II step 4/5: block boundary — wait for every packet's ACK.
+        yield responder.block_done | handle.error
+        if not responder.block_done.triggered:
+            self._note_acked(responder, acked_seqs, to_send)
+            return handle.error.value
+        self._note_acked(responder, acked_seqs, to_send)
+        return None
+
+    def _send_packet(self, handle: PipelineHandle, packet: Packet) -> ProcessGenerator:
+        """Deliver one packet to the first datanode (reserve + transfer)."""
+        yield from handle.receivers[0].send_in(self.node, packet)
+
+    @staticmethod
+    def _note_acked(
+        responder: PacketResponder, acked_seqs: set[int], to_send: list[int]
+    ) -> None:
+        """Fold this attempt's acknowledged packets into the block state.
+
+        ACKs arrive strictly in send order, so the acknowledged sequence
+        numbers are a prefix of this attempt's send list.
+        """
+        acked_seqs.update(to_send[: responder.acked_count])

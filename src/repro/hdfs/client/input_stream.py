@@ -1,0 +1,146 @@
+"""The HDFS read path: ``open()`` + block-by-block reads.
+
+The paper evaluates writes, but a credible HDFS substrate must also serve
+reads — and the read path is how tests verify that replicas written
+through either protocol are actually usable.  Semantics follow Hadoop:
+
+* the client asks the namenode for each block's locations;
+* it reads each block from the *nearest* replica (topology distance:
+  same node < same rack < off rack), falling back to the next-nearest on
+  datanode failure;
+* within a block, reads are chunked at packet granularity with the disk
+  read of chunk *i+1* overlapping the network transfer of chunk *i*
+  (Hadoop's BlockSender does the same with its transfer buffer).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...cluster.node import Node
+from ...sim import ProcessGenerator
+from ..deployment import HdfsDeployment
+from ..protocol import Block, FileNotFound, HdfsError
+
+__all__ = ["ReadResult", "HdfsReader", "BlockUnavailable"]
+
+
+class BlockUnavailable(HdfsError):
+    """No live replica could serve a block."""
+
+
+@dataclass
+class ReadResult:
+    """Outcome of one whole-file read."""
+
+    path: str
+    size: int
+    start: float
+    end: float
+    #: (block_id, datanode) pairs actually read from, in block order.
+    sources: list[tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput(self) -> float:
+        return self.size / self.duration if self.duration > 0 else float("inf")
+
+
+class HdfsReader:
+    """Whole-file reader (the ``hdfs get`` counterpart of the writers)."""
+
+    def __init__(
+        self,
+        deployment: HdfsDeployment,
+        host: Optional[Node] = None,
+        name: Optional[str] = None,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.network = deployment.network
+        self.config = deployment.config
+        self.node = host or deployment.cluster.client_host
+        self.name = name or self.node.name
+        self.rng = random.Random(self.config.seed ^ 0x8EAD)
+
+    # ------------------------------------------------------------------
+    def get(self, path: str) -> ProcessGenerator:
+        """Read all of ``path``; returns a :class:`ReadResult`."""
+        namenode = self.deployment.namenode
+        start = self.env.now
+
+        yield from namenode._rpc()  # getBlockLocations round trip
+        inode = namenode.namespace.get(path)
+        if not inode.blocks:
+            raise FileNotFound(f"{path} has no blocks")
+
+        result = ReadResult(path=path, size=inode.size, start=start, end=start)
+        for block in inode.blocks:
+            source = yield from self._read_block(block)
+            result.sources.append((block.block_id, source))
+        result.end = self.env.now
+        return result
+
+    # ------------------------------------------------------------------
+    def _candidates(self, block: Block) -> list[str]:
+        """Live replica holders, nearest first (ties broken randomly)."""
+        namenode = self.deployment.namenode
+        locations = [
+            dn
+            for dn in namenode.blocks.locations(block.block_id)
+            if self.deployment.datanode(dn).node.alive
+        ]
+        self.rng.shuffle(locations)
+        topology = self.network.topology
+        if self.node.name in topology:
+            locations.sort(key=lambda dn: topology.distance(self.node.name, dn))
+        else:
+            locations.sort(
+                key=lambda dn: 0 if topology.rack_of(dn) == self.node.rack else 1
+            )
+        return locations
+
+    def _read_block(self, block: Block) -> ProcessGenerator:
+        """Stream one block from its nearest live replica."""
+        last_error: Exception | None = None
+        for source in self._candidates(block):
+            try:
+                yield from self._stream_from(source, block)
+                return source
+            except _SourceDied as err:  # try the next replica
+                last_error = err
+        raise BlockUnavailable(
+            f"block {block.block_id}: no live replica"
+        ) from last_error
+
+    def _stream_from(self, source: str, block: Block) -> ProcessGenerator:
+        datanode = self.deployment.datanode(source)
+        packet_size = self.config.hdfs.packet_size
+        yield self.env.process(self.network.connection_setup(1))
+
+        remaining = block.size
+        # Prefetch pipeline: disk read of the next chunk overlaps the
+        # network transfer of the current one.
+        next_chunk = min(packet_size, remaining)
+        disk_read = self.env.process(datanode.node.disk.read(next_chunk))
+        while remaining > 0:
+            if not datanode.node.alive:
+                raise _SourceDied(source)
+            chunk = next_chunk
+            yield disk_read
+            remaining -= chunk
+            if remaining > 0:
+                next_chunk = min(packet_size, remaining)
+                disk_read = self.env.process(datanode.node.disk.read(next_chunk))
+            yield self.env.process(
+                self.network.transfer(datanode.node, self.node, chunk)
+            )
+
+
+class _SourceDied(HdfsError):
+    """Internal: the replica being streamed from crashed."""

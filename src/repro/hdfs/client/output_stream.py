@@ -1,0 +1,95 @@
+"""Client-side output stream: block/packet planning and the producer.
+
+§II step 2: the client treats the upload as a stream, fragments it into
+64 MB blocks, splits each block into 64 KB packets, and a producer thread
+reads local data, checksums it and appends packets to the data queue
+(``T_c`` per packet).  Production runs concurrently with transmission —
+the overlap that makes §III-D's two regimes (``T_c`` ≥ vs < ``P/B``)
+emerge rather than being hard-coded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...cluster.node import Node
+from ...config import HdfsConfig
+from ...sim import Environment, ProcessGenerator, Store
+
+__all__ = ["ChunkSpec", "BlockPlan", "plan_file", "producer", "DATA_QUEUE_PACKETS"]
+
+#: Hadoop 1.x caps dataQueue + ackQueue at 80 packets; we use it as the
+#: producer-side data-queue depth.
+DATA_QUEUE_PACKETS = 80
+
+
+@dataclass(frozen=True)
+class ChunkSpec:
+    """One produced-but-unsent payload chunk (becomes a Packet)."""
+
+    block_index: int
+    seq: int
+    size: int
+    is_last_in_block: bool
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """Planned layout of one block before it is allocated."""
+
+    index: int
+    size: int
+    packet_sizes: tuple[int, ...]
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.packet_sizes)
+
+
+def plan_file(size: int, config: HdfsConfig) -> list[BlockPlan]:
+    """Split ``size`` bytes into blocks and packets per the config.
+
+    The final block (and final packet of each block) may be short.
+    """
+    if size <= 0:
+        raise ValueError(f"file size must be positive, got {size}")
+    plans: list[BlockPlan] = []
+    offset = 0
+    index = 0
+    while offset < size:
+        block_size = min(config.block_size, size - offset)
+        packet_sizes: list[int] = []
+        remaining = block_size
+        while remaining > 0:
+            p = min(config.packet_size, remaining)
+            packet_sizes.append(p)
+            remaining -= p
+        plans.append(
+            BlockPlan(index=index, size=block_size, packet_sizes=tuple(packet_sizes))
+        )
+        offset += block_size
+        index += 1
+    return plans
+
+
+def producer(
+    env: Environment,
+    client_node: Node,
+    plans: list[BlockPlan],
+    data_queue: Store,
+) -> ProcessGenerator:
+    """The DataStreamer's producing half: fill the data queue at ``T_c``/packet.
+
+    Runs for the whole file; the consuming streamer pulls chunks in order.
+    """
+    for plan in plans:
+        for seq, psize in enumerate(plan.packet_sizes):
+            yield env.process(client_node.produce(psize))
+            yield data_queue.put(
+                ChunkSpec(
+                    block_index=plan.index,
+                    seq=seq,
+                    size=psize,
+                    is_last_in_block=(seq == plan.n_packets - 1),
+                )
+            )

@@ -1,0 +1,74 @@
+"""The client-side PacketResponder (§II step 4).
+
+One responder watches one pipeline's ACK stream.  The streamer appends
+every sent packet to the responder's ACK queue; the responder removes
+packets as their ACKs arrive and fires ``block_done`` after the last
+packet of the block is acknowledged.  On pipeline failure the un-ACKed
+packets are recovered from the queue (Algorithm 3 step 3 moves them back
+to the data queue).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ...sim import Environment, Event, Interrupt, Process, ProcessGenerator, Store
+from ..protocol import Ack, Block, Packet
+
+__all__ = ["PacketResponder"]
+
+
+class PacketResponder:
+    """Consumes ACKs for one block's pipeline."""
+
+    def __init__(self, env: Environment, block: Block, ack_in: Store):
+        self.env = env
+        self.block = block
+        self.ack_in = ack_in
+        #: Sent-but-unacknowledged packets, in send order.
+        self.ack_queue: deque[Packet] = deque()
+        #: Fires (with the block) when the last packet's ACK arrives.
+        self.block_done: Event = env.event()
+        self.acked_bytes = 0
+        self.acked_count = 0
+        self._proc: Process = env.process(
+            self._run(), name=f"responder:b{block.block_id}"
+        )
+
+    def packet_sent(self, packet: Packet) -> None:
+        """Streamer bookkeeping: ``packet`` is now awaiting its ACK."""
+        self.ack_queue.append(packet)
+
+    def unacked_packets(self) -> list[Packet]:
+        """Drain the ACK queue (recovery: back to the data queue)."""
+        packets = list(self.ack_queue)
+        self.ack_queue.clear()
+        return packets
+
+    def stop(self) -> None:
+        """Tear the responder down (pipeline error or teardown)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("responder stopped")
+
+    def _run(self) -> ProcessGenerator:
+        try:
+            while True:
+                ack: Ack = yield self.ack_in.get()
+                if ack.block_id != self.block.block_id:
+                    continue  # stale ACK from a recovered generation
+                if not self.ack_queue:
+                    continue
+                expected = self.ack_queue[0]
+                if ack.seq != expected.seq:
+                    # ACKs are relayed in order; a mismatch means the
+                    # pipeline was rebuilt — ignore the stale ACK.
+                    continue
+                self.ack_queue.popleft()
+                self.acked_bytes += expected.size
+                self.acked_count += 1
+                if expected.is_last:
+                    if not self.block_done.triggered:
+                        self.block_done.succeed(self.block)
+                    return
+        except Interrupt:
+            return

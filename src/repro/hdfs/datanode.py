@@ -1,0 +1,431 @@
+"""Datanode service: block receivers, packet forwarding, ACK relay.
+
+Each block write opens a :class:`BlockReceiver` on every pipeline datanode
+(§II step 3).  A receiver:
+
+* admits packets through a **token-based buffer** (flow control: the
+  upstream sender reserves buffer space *before* transmitting, exactly
+  like TCP windows over a bounded receive buffer).  The buffer is the
+  paper's §IV-C first-datanode buffer — one block (64 MB) for SMARTH, a
+  few MB of socket buffering for baseline HDFS;
+* stores each packet (asynchronous disk write, ``T_w``) as it arrives,
+  **independently of forwarding** — so receiving is paced by the upstream
+  link, not by slower downstream hops;
+* forwards packets downstream from the buffer in a separate loop
+  (store-and-forward per packet, like Hadoop's BlockReceiver mirroring),
+  releasing buffer space as packets leave;
+* relays ACKs client-ward only after *both* its own disk write and the
+  downstream ACK for that packet completed — an ACK reaching the client
+  proves the whole pipeline stored the packet (§II step 4);
+* finalizes the block *locally* once every packet is received and
+  written: this is when SMARTH's FNFA fires (§III-A step 3) — crucially
+  independent of downstream progress, which is what lets a SMARTH client
+  move to the next block while slower replicas trail behind — and when
+  ``blockReceived`` is reported to the namenode.
+
+Failure model: killing a datanode interrupts its receivers and fires each
+affected pipeline's error signal (the socket-reset analogue); peers
+touching a dead node fire the same signal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..cluster.node import Node
+from ..config import HdfsConfig
+from ..net.transport import Network
+from ..sim import Environment, Event, Interrupt, Process, ProcessGenerator, Store
+from .protocol import FNFA, Ack, Block, Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .namenode import Namenode
+
+__all__ = ["Datanode", "BlockReceiver", "trigger_pipeline_error"]
+
+
+def trigger_pipeline_error(error: Event, failed_datanode: str) -> None:
+    """Fire a pipeline's shared error signal exactly once."""
+    if not error.triggered:
+        error.succeed(failed_datanode)
+
+
+class BlockReceiver:
+    """Per-block receiving state machine on one datanode."""
+
+    def __init__(
+        self,
+        datanode: "Datanode",
+        block: Block,
+        ack_out: Store,
+        error: Event,
+        buffer_bytes: int,
+        downstream: Optional["BlockReceiver"] = None,
+        fnfa_out: Optional[Store] = None,
+        client_node: Optional[Node] = None,
+        upstream_node: Optional[Node] = None,
+        initial_bytes: int = 0,
+    ):
+        self.datanode = datanode
+        self.env: Environment = datanode.env
+        self.block = block
+        self.ack_out = ack_out
+        self.error = error
+        self.downstream = downstream
+        self.fnfa_out = fnfa_out
+        self.client_node = client_node
+        #: Where our ACKs physically go: the client for the first datanode,
+        #: the previous datanode otherwise.
+        self.upstream_node = (
+            upstream_node if upstream_node is not None else datanode.node
+        )
+
+        config = datanode.config
+        # Floor of 4 packets: with a coarse simulation granularity the
+        # byte-denominated buffer could drop to a single packet, which
+        # would serialize receive/forward into stop-and-wait — an artifact
+        # of granularity, not of the modelled protocol (real TCP windows
+        # always cover several packets).
+        capacity = max(4, buffer_bytes // config.packet_size)
+        #: Buffer tokens: senders reserve space here before transmitting;
+        #: a full buffer blocks the upstream — backpressure (§IV-C).
+        self._buffer_tokens: Store = Store(self.env, capacity=capacity)
+        self.buffer_capacity = capacity
+        #: High-water mark of buffer occupancy (verifies §IV-C's bound).
+        self.max_buffered = 0
+        #: Received packets awaiting processing (space already accounted
+        #: for by the token the sender holds on our behalf).
+        self.inbox: Store = Store(self.env)
+        #: Packets stored locally, awaiting forwarding downstream.
+        self._forward_queue: Store = Store(self.env)
+        #: ACKs arriving from the downstream receiver (None for the tail).
+        self.downstream_acks: Store = Store(self.env)
+
+        self._write_done: dict[int, Process] = {}
+        self._writes_announced: Store = Store(self.env)
+        #: Bytes of this block already durable locally before this receiver
+        #: opened (non-zero only when a pipeline is rebuilt by recovery).
+        self._bytes_received = initial_bytes
+        self._finalized = False
+        self._acks_done = False
+        self._aborted = False
+
+        label = f"{datanode.name}:b{block.block_id}"
+        self._procs: list[Process] = [
+            self.env.process(self._run(), name=f"recv:{label}"),
+            self.env.process(self._ack_loop(), name=f"ackr:{label}"),
+        ]
+        if downstream is not None:  # may also be linked via set_downstream
+            self._start_forwarder()
+
+    # -- public ------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.datanode.name
+
+    @property
+    def host(self) -> Node:
+        return self.datanode.node
+
+    @property
+    def bytes_received(self) -> int:
+        return self._bytes_received
+
+    @property
+    def buffered_packets(self) -> int:
+        """Packets currently occupying buffer space (for buffer tests)."""
+        return len(self._buffer_tokens)
+
+    @property
+    def finalized(self) -> bool:
+        """True once the block is fully received and stored locally."""
+        return self._finalized
+
+    def set_downstream(self, receiver: "BlockReceiver") -> None:
+        """Link the next pipeline hop (done while wiring, before any packet
+        can arrive — receivers are created head-first by ``open_pipeline``)."""
+        self.downstream = receiver
+        self._start_forwarder()
+
+    def send_in(self, src_node: Node, packet: Packet) -> ProcessGenerator:
+        """Upstream-facing: reserve buffer space, transfer, enqueue.
+
+        This is the only way packets enter a receiver; the buffer token is
+        held until the packet leaves (forwarded, or written on the tail).
+        """
+        yield self._buffer_tokens.put(packet.seq)
+        self.max_buffered = max(self.max_buffered, len(self._buffer_tokens))
+        yield self.env.process(
+            self.datanode.network.transfer(src_node, self.host, packet.size)
+        )
+        yield self.inbox.put(packet)
+
+    def abort(self, failed_datanode: str | None = None) -> None:
+        """Tear the receiver down (datanode death or pipeline recovery)."""
+        if self._aborted:
+            return
+        self._aborted = True
+        if failed_datanode is not None:
+            trigger_pipeline_error(self.error, failed_datanode)
+        for proc in self._procs:
+            # A receiver loop may abort its own receiver (e.g. on seeing a
+            # dead peer); it returns by itself, so never self-interrupt.
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("receiver aborted")
+        self.datanode._receiver_closed(self)
+
+    # -- internals ----------------------------------------------------------
+    def _start_forwarder(self) -> None:
+        self._procs.append(
+            self.env.process(
+                self._forward_loop(),
+                name=f"fwd:{self.name}:b{self.block.block_id}",
+            )
+        )
+
+    def _run(self) -> ProcessGenerator:
+        """Receive loop: store locally at link speed, hand to forwarder."""
+        try:
+            while True:
+                packet: Packet = yield self.inbox.get()
+                if not self.datanode.node.alive:
+                    self.abort(self.name)
+                    return
+                self._bytes_received += packet.size
+
+                write = self.env.process(
+                    self.datanode.node.disk.write(packet.size),
+                    name=f"wr:{self.name}:b{self.block.block_id}:{packet.seq}",
+                )
+                self._write_done[packet.seq] = write
+                yield self._writes_announced.put(packet)
+                yield self._forward_queue.put(packet)
+
+                if packet.is_last:
+                    # The disk channel is FIFO, so waiting for the last
+                    # packet's write means the whole block is stored.
+                    self._procs.append(
+                        self.env.process(
+                            self._local_finalize(write),
+                            name=f"fin:{self.name}:b{self.block.block_id}",
+                        )
+                    )
+                    return
+        except Interrupt:
+            return
+
+    def _forward_loop(self) -> ProcessGenerator:
+        """Mirror packets downstream, freeing buffer space as they leave."""
+        try:
+            while True:
+                packet: Packet = yield self._forward_queue.get()
+                assert self.downstream is not None
+                if not self.downstream.host.alive:
+                    self.abort(self.downstream.name)
+                    return
+                yield from self.downstream.send_in(self.host, packet)
+                yield self._buffer_tokens.get()  # space freed
+                if packet.is_last:
+                    return
+        except Interrupt:
+            return
+
+    def _local_finalize(self, last_write: Process) -> ProcessGenerator:
+        """All packets received: store complete → FNFA + blockReceived.
+
+        Runs as its own process so it does **not** wait for downstream
+        ACKs — the whole point of SMARTH's FNFA.
+        """
+        try:
+            if last_write.is_alive:
+                yield last_write
+            self._finalized = True
+            if self.datanode.namenode is not None:
+                self.datanode.namenode.journal.emit(
+                    self.env.now,
+                    "block_stored",
+                    f"block:{self.block.block_id}",
+                    datanode=self.name,
+                    bytes=self._bytes_received,
+                    fnfa=self.fnfa_out is not None,
+                )
+            if self.fnfa_out is not None and self.client_node is not None:
+                yield self.env.process(
+                    self.datanode.network.send_control(
+                        self.datanode.node, self.client_node
+                    )
+                )
+                yield self.fnfa_out.put(
+                    FNFA(
+                        block_id=self.block.block_id,
+                        datanode=self.name,
+                        finished_at=self.env.now,
+                    )
+                )
+            yield self.env.process(
+                self.datanode.report_block_received(self.block, self._bytes_received)
+            )
+            self._maybe_close()
+        except Interrupt:
+            return
+
+    def _ack_loop(self) -> ProcessGenerator:
+        """Relay ACKs client-ward in packet order."""
+        network: Network = self.datanode.network
+        try:
+            while True:
+                packet: Packet = yield self._writes_announced.get()
+                if self.downstream is not None:
+                    yield self.downstream_acks.get(
+                        filter=lambda a, s=packet.seq: a.seq == s
+                    )
+                write = self._write_done[packet.seq]
+                if write.is_alive:
+                    yield write
+                del self._write_done[packet.seq]
+                if self.downstream is None:
+                    # Tail node: the packet leaves memory once written.
+                    yield self._buffer_tokens.get()
+
+                yield self.env.process(
+                    network.send_control(self.datanode.node, self.upstream_node)
+                )
+                yield self.ack_out.put(
+                    Ack(block_id=self.block.block_id, seq=packet.seq, ok=True)
+                )
+
+                if packet.is_last:
+                    self._acks_done = True
+                    self._maybe_close()
+                    return
+        except Interrupt:
+            return
+
+    def _maybe_close(self) -> None:
+        if self._finalized and self._acks_done:
+            self.datanode._receiver_closed(self)
+
+
+class Datanode:
+    """The datanode service running on one cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        network: Network,
+        config: HdfsConfig,
+    ):
+        self.env = env
+        self.node = node
+        self.network = network
+        self.config = config
+        self.namenode: Optional["Namenode"] = None
+        self._active: set[BlockReceiver] = set()
+        self._heartbeat_proc: Optional[Process] = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def active_receivers(self) -> int:
+        return len(self._active)
+
+    # -- namenode liaison ----------------------------------------------------
+    def register_with(self, namenode: "Namenode") -> None:
+        self.namenode = namenode
+        namenode.register_datanode(self.name, self.node.rack)
+        self._heartbeat_proc = self.env.process(
+            self._heartbeat_loop(), name=f"hb:{self.name}"
+        )
+
+    def _heartbeat_loop(self) -> ProcessGenerator:
+        assert self.namenode is not None
+        interval = self.config.heartbeat_interval
+        try:
+            while True:
+                yield self.env.timeout(interval)
+                if not self.node.alive:
+                    return
+                yield self.env.process(
+                    self.network.send_control(self.node, self.namenode.node)
+                )
+                self.namenode.datanode_heartbeat(self.name)
+        except Interrupt:
+            return
+
+    def register_heartbeats_again(self) -> None:
+        """Restart the heartbeat loop after the machine recovers.
+
+        The namenode sees the node as live again on the next beat (its
+        liveness is purely heartbeat-driven).
+        """
+        if self.namenode is None:
+            return
+        if self._heartbeat_proc is None or not self._heartbeat_proc.is_alive:
+            self._heartbeat_proc = self.env.process(
+                self._heartbeat_loop(), name=f"hb:{self.name}"
+            )
+
+    def report_block_received(self, block: Block, size: int) -> ProcessGenerator:
+        """Send blockReceived to the namenode (control message)."""
+        if self.namenode is None or not self.node.alive:
+            return
+        yield self.env.process(
+            self.network.send_control(self.node, self.namenode.node)
+        )
+        self.namenode.block_received(block.block_id, self.name, size)
+
+    # -- pipeline participation ------------------------------------------------
+    def open_receiver(
+        self,
+        block: Block,
+        ack_out: Store,
+        error: Event,
+        downstream: Optional[BlockReceiver] = None,
+        fnfa_out: Optional[Store] = None,
+        client_node: Optional[Node] = None,
+        upstream_node: Optional[Node] = None,
+        buffer_bytes: Optional[int] = None,
+        initial_bytes: int = 0,
+    ) -> BlockReceiver:
+        """Start receiving one block; returns the receiver handle."""
+        if not self.node.alive:
+            raise RuntimeError(f"datanode {self.name} is dead")
+        receiver = BlockReceiver(
+            datanode=self,
+            block=block,
+            ack_out=ack_out,
+            error=error,
+            buffer_bytes=buffer_bytes or self.config.block_size,
+            downstream=downstream,
+            fnfa_out=fnfa_out,
+            client_node=client_node,
+            upstream_node=upstream_node,
+            initial_bytes=initial_bytes,
+        )
+        self._active.add(receiver)
+        return receiver
+
+    def _receiver_closed(self, receiver: BlockReceiver) -> None:
+        self._active.discard(receiver)
+
+    # -- faults ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Crash this datanode: stop receivers and signal their pipelines."""
+        self.node.fail()
+        if self.namenode is not None:
+            self.namenode.journal.emit(
+                self.env.now,
+                "datanode_killed",
+                self.name,
+                active_receivers=len(self._active),
+            )
+        for receiver in list(self._active):
+            receiver.abort(self.name)
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("datanode killed")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Datanode {self.name} active={len(self._active)}>"

@@ -1,0 +1,125 @@
+"""Datanode liveness tracking on the namenode.
+
+Datanodes register once and then heartbeat every
+:attr:`~repro.config.HdfsConfig.heartbeat_interval` seconds; a monitor
+process declares a node dead after ``dead_node_heartbeats`` missed beats.
+Placement (both default HDFS and SMARTH's Algorithm 1) only ever considers
+*live* datanodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import HdfsConfig
+from ..sim import Environment, ProcessGenerator
+
+__all__ = ["DatanodeDescriptor", "DatanodeManager"]
+
+
+@dataclass
+class DatanodeDescriptor:
+    """Namenode-side view of one datanode."""
+
+    name: str
+    rack: str
+    last_heartbeat: float = 0.0
+    alive: bool = True
+    #: Active write streams (an xceiver-count analogue, for load stats).
+    active_streams: int = 0
+    #: Graceful drain in progress: no new replicas placed here, but the
+    #: node still serves reads and replication-source traffic.
+    decommissioning: bool = False
+    decommissioned: bool = False
+
+    @property
+    def schedulable(self) -> bool:
+        return self.alive and not self.decommissioned and not self.decommissioning
+
+    @property
+    def can_serve(self) -> bool:
+        """Usable as a read / replication source."""
+        return self.alive and not self.decommissioned
+
+
+class DatanodeManager:
+    """Registration, heartbeats and the liveness monitor."""
+
+    def __init__(self, env: Environment, config: HdfsConfig):
+        self.env = env
+        self.config = config
+        self._datanodes: dict[str, DatanodeDescriptor] = {}
+
+    # -- registration and heartbeats -----------------------------------------
+    def register(self, name: str, rack: str) -> DatanodeDescriptor:
+        if name in self._datanodes:
+            raise ValueError(f"datanode {name!r} already registered")
+        descriptor = DatanodeDescriptor(
+            name=name, rack=rack, last_heartbeat=self.env.now
+        )
+        self._datanodes[name] = descriptor
+        return descriptor
+
+    def heartbeat(self, name: str) -> None:
+        """Record a beat; revives a node previously marked dead."""
+        descriptor = self._get(name)
+        descriptor.last_heartbeat = self.env.now
+        descriptor.alive = True
+
+    def mark_dead(self, name: str) -> None:
+        self._get(name).alive = False
+
+    def start_decommission(self, name: str) -> None:
+        """Begin a graceful drain (no new replicas; existing ones serve)."""
+        self._get(name).decommissioning = True
+
+    def decommission(self, name: str) -> None:
+        """Final state: node fully out of service."""
+        descriptor = self._get(name)
+        descriptor.decommissioning = False
+        descriptor.decommissioned = True
+
+    # -- liveness monitor ------------------------------------------------------
+    @property
+    def dead_after(self) -> float:
+        """Seconds of heartbeat silence before a node is declared dead."""
+        return self.config.heartbeat_interval * self.config.dead_node_heartbeats
+
+    def monitor(self) -> ProcessGenerator:
+        """Background process that expires silent datanodes.
+
+        Runs forever; start it with ``env.process(manager.monitor())``.
+        """
+        while True:
+            yield self.env.timeout(self.config.heartbeat_interval)
+            cutoff = self.env.now - self.dead_after
+            for descriptor in self._datanodes.values():
+                if descriptor.alive and descriptor.last_heartbeat < cutoff:
+                    descriptor.alive = False
+
+    # -- queries ------------------------------------------------------------------
+    def live_datanodes(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(d.name for d in self._datanodes.values() if d.schedulable)
+        )
+
+    def descriptor(self, name: str) -> DatanodeDescriptor:
+        return self._get(name)
+
+    def rack_of(self, name: str) -> str:
+        return self._get(name).rack
+
+    def is_alive(self, name: str) -> bool:
+        return self._get(name).schedulable
+
+    def all_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._datanodes))
+
+    def _get(self, name: str) -> DatanodeDescriptor:
+        try:
+            return self._datanodes[name]
+        except KeyError:
+            raise KeyError(f"unknown datanode {name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._datanodes)

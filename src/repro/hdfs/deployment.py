@@ -1,0 +1,166 @@
+"""Wiring an HDFS service deployment onto a cluster substrate.
+
+:class:`HdfsDeployment` instantiates the namenode and one datanode service
+per datanode host, registers them (heartbeats start immediately), and
+provides :meth:`open_pipeline` — the §II step 3 construction both the
+baseline client and SMARTH use to chain BlockReceivers with their ACK
+relays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.trace import Journal
+from ..cluster.builder import Cluster
+from ..cluster.node import Node
+from ..config import SimulationConfig
+from ..sim import Environment, Event, Store
+from .datanode import BlockReceiver, Datanode
+from .namenode import Namenode
+from .placement import PlacementPolicy
+from .protocol import Block
+
+__all__ = ["HdfsDeployment", "PipelineHandle"]
+
+
+@dataclass
+class PipelineHandle:
+    """Client-side handle on one live block pipeline."""
+
+    block: Block
+    targets: tuple[str, ...]
+    receivers: list[BlockReceiver]
+    #: ACKs aggregated across the whole pipeline arrive here.
+    ack_in: Store
+    #: Fires with the failed datanode's name on any pipeline fault.
+    error: Event
+    #: FNFAs from the first datanode (SMARTH pipelines only).
+    fnfa_in: Optional[Store] = None
+    opened_at: float = 0.0
+    closed: bool = False
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def first_datanode(self) -> str:
+        return self.targets[0]
+
+    def teardown(self) -> None:
+        """Abort every receiver (recovery step: 'close all streams')."""
+        self.closed = True
+        for receiver in self.receivers:
+            receiver.abort(None)
+
+
+class HdfsDeployment:
+    """An HDFS instance (namenode + datanodes) running on a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        placement: Optional[PlacementPolicy] = None,
+        config: Optional[SimulationConfig] = None,
+        enable_replication_monitor: bool = True,
+    ):
+        self.cluster = cluster
+        self.config = config or cluster.config
+        self.env: Environment = cluster.env
+        self.network = cluster.network
+        #: Structured protocol trace shared by every service on this
+        #: deployment (see repro.analysis.trace).
+        self.journal = Journal()
+
+        self.namenode = Namenode(
+            env=self.env,
+            node=cluster.namenode_host,
+            network=self.network,
+            config=self.config.hdfs,
+            placement=placement,
+            seed=self.config.seed,
+            journal=self.journal,
+        )
+        self.datanodes: dict[str, Datanode] = {}
+        for host in cluster.datanode_hosts:
+            datanode = Datanode(self.env, host, self.network, self.config.hdfs)
+            datanode.register_with(self.namenode)
+            self.datanodes[host.name] = datanode
+
+        from .replication import ReplicationMonitor
+
+        self.replication_monitor: Optional[ReplicationMonitor] = (
+            ReplicationMonitor(self) if enable_replication_monitor else None
+        )
+
+    def client(self, host: Optional[Node] = None, name: Optional[str] = None):
+        """Create a baseline write client on ``host`` (default: the
+        cluster's client node)."""
+        from .client.data_streamer import HdfsClient
+
+        return HdfsClient(self, host=host, name=name)
+
+    def datanode(self, name: str) -> Datanode:
+        try:
+            return self.datanodes[name]
+        except KeyError:
+            raise KeyError(f"unknown datanode {name!r}") from None
+
+    def live_datanode_count(self) -> int:
+        return sum(1 for d in self.datanodes.values() if d.node.alive)
+
+    # ------------------------------------------------------------------
+    def open_pipeline(
+        self,
+        block: Block,
+        targets: tuple[str, ...],
+        client_node: Node,
+        want_fnfa: bool = False,
+        buffer_bytes: Optional[int] = None,
+        initial_bytes: int = 0,
+    ) -> PipelineHandle:
+        """Chain BlockReceivers across ``targets`` (§II step 3).
+
+        Receivers are created head-first and linked; ACK stores are wired
+        so each hop's relay feeds the previous hop, with the first
+        datanode's ACKs landing in the handle's ``ack_in``.
+        """
+        env = self.env
+        ack_in: Store = Store(env)
+        error: Event = env.event()
+        fnfa_in: Optional[Store] = Store(env) if want_fnfa else None
+
+        receivers: list[BlockReceiver] = []
+        prev: Optional[BlockReceiver] = None
+        for i, name in enumerate(targets):
+            datanode = self.datanode(name)
+            receiver = datanode.open_receiver(
+                block=block,
+                ack_out=ack_in if i == 0 else prev.downstream_acks,
+                error=error,
+                fnfa_out=fnfa_in if i == 0 else None,
+                client_node=client_node if i == 0 else None,
+                upstream_node=client_node if i == 0 else prev.host,
+                buffer_bytes=buffer_bytes,
+                initial_bytes=initial_bytes,
+            )
+            if prev is not None:
+                prev.set_downstream(receiver)
+            receivers.append(receiver)
+            prev = receiver
+
+        self.journal.emit(
+            env.now,
+            "pipeline_open",
+            f"block:{block.block_id}",
+            targets=targets,
+            generation=block.generation,
+        )
+        return PipelineHandle(
+            block=block,
+            targets=targets,
+            receivers=receivers,
+            ack_in=ack_in,
+            error=error,
+            fnfa_in=fnfa_in,
+            opened_at=env.now,
+        )

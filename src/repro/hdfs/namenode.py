@@ -1,0 +1,208 @@
+"""The namenode service: namespace RPCs, block allocation, liveness.
+
+Client-facing calls (``create_file``, ``add_block``, ``complete_file``,
+``get_additional_datanode``) are process generators that charge the RPC
+round-trip latency ``T_n`` (§III-D) before executing.  Datanode-facing
+calls (registration, heartbeats, blockReceived) arrive via control
+messages and execute synchronously at the namenode.
+
+The placement policy is pluggable: baseline deployments use
+:class:`~repro.hdfs.placement.DefaultPlacementPolicy`; SMARTH deployments
+install :class:`~repro.smarth.global_opt.SmarthPlacementPolicy`
+(Algorithm 1), which reads the per-client speed registry populated by
+client heartbeats (§III-B).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional
+
+from ..analysis.trace import Journal
+from ..cluster.node import Node
+from ..config import HdfsConfig
+from ..net.transport import Network
+from ..sim import Environment, ProcessGenerator
+from .block_manager import BlockManager
+from .datanode_manager import DatanodeManager
+from .namespace import Namespace
+from .placement import DefaultPlacementPolicy, PlacementPolicy
+from .protocol import Block, BlockTargets, NoDatanodesAvailable
+
+__all__ = ["Namenode", "SpeedRegistry"]
+
+
+class SpeedRegistry:
+    """Per-client datanode transfer-speed records (§III-B).
+
+    Clients measure the speed of each block transfer to its *first*
+    datanode and piggyback the records on 3-second heartbeats; the
+    namenode keeps the latest value per (client, datanode).
+    """
+
+    def __init__(self) -> None:
+        self._records: dict[str, dict[str, float]] = {}
+
+    def update(self, client: str, records: dict[str, float]) -> None:
+        self._records.setdefault(client, {}).update(records)
+
+    def records_for(self, client: str) -> dict[str, float]:
+        """Latest known speeds (bytes/s) per datanode for a client."""
+        return dict(self._records.get(client, {}))
+
+    def has_records(self, client: str) -> bool:
+        return bool(self._records.get(client))
+
+    def top_n(
+        self, client: str, n: int, among: Iterable[str] | None = None
+    ) -> list[str]:
+        """The ``n`` fastest datanodes for ``client`` (Algorithm 1 l.5)."""
+        records = self._records.get(client, {})
+        pool = records if among is None else {
+            d: records[d] for d in among if d in records
+        }
+        ranked = sorted(pool, key=lambda d: pool[d], reverse=True)
+        return ranked[:n]
+
+
+class Namenode:
+    """The namenode service running on one cluster node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        node: Node,
+        network: Network,
+        config: HdfsConfig,
+        placement: Optional[PlacementPolicy] = None,
+        seed: int = 0,
+        journal: Optional[Journal] = None,
+    ):
+        self.env = env
+        self.node = node
+        self.network = network
+        self.config = config
+        self.namespace = Namespace()
+        self.blocks = BlockManager()
+        self.datanodes = DatanodeManager(env, config)
+        self.speeds = SpeedRegistry()
+        self.rng = random.Random(seed)
+        self.journal = journal if journal is not None else Journal(enabled=False)
+        self.placement: PlacementPolicy = placement or DefaultPlacementPolicy(
+            network.topology, self.datanodes, self.rng
+        )
+        self._monitor = env.process(self.datanodes.monitor(), name="nn:monitor")
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def _rpc(self) -> ProcessGenerator:
+        """Charge one client↔namenode RPC round trip (``T_n``)."""
+        yield self.env.timeout(self.config.namenode_rpc_latency)
+
+    # -- client RPCs ---------------------------------------------------------
+    def create_file(self, client: str, path: str) -> ProcessGenerator:
+        """§II step 1: namespace checks + create."""
+        yield from self._rpc()
+        self.namespace.create(path, client)
+
+    def add_block(
+        self,
+        client: str,
+        path: str,
+        size: int,
+        excluded: Iterable[str] = (),
+    ) -> ProcessGenerator:
+        """§II step 2's addBlock(): new block ID + pipeline targets.
+
+        Returns a :class:`BlockTargets` (as the process's value).
+        """
+        yield from self._rpc()
+        inode = self.namespace.check_lease(path, client)
+        targets = self.placement.choose_targets(
+            client, self.config.replication, excluded
+        )
+        block = self.blocks.allocate(path, index=len(inode.blocks), size=size)
+        self.blocks.expect_replicas(block.block_id, targets)
+        self.namespace.append_block(path, client, block)
+        self.journal.emit(
+            self.env.now,
+            "add_block",
+            f"block:{block.block_id}",
+            path=path,
+            client=client,
+            targets=targets,
+        )
+        return BlockTargets(block=block, targets=targets)
+
+    def get_additional_datanode(
+        self,
+        client: str,
+        block: Block,
+        existing: Iterable[str],
+        excluded: Iterable[str] = (),
+    ) -> ProcessGenerator:
+        """Recovery: one replacement datanode for a damaged pipeline.
+
+        Returns the chosen datanode name.
+        """
+        yield from self._rpc()
+        existing_set = set(existing)
+        avoid = existing_set | set(excluded)
+        candidates = [
+            d for d in self.datanodes.live_datanodes() if d not in avoid
+        ]
+        if not candidates:
+            raise NoDatanodesAvailable(
+                f"no replacement datanode for block {block.block_id}"
+            )
+        choice = candidates[self.rng.randrange(len(candidates))]
+        self.blocks.expect_replicas(block.block_id, (choice,))
+        return choice
+
+    def bump_generation(self, block: Block) -> ProcessGenerator:
+        """Recovery: new generation stamp for a recovering block."""
+        yield from self._rpc()
+        new_block = self.blocks.bump_generation(block.block_id)
+        self.namespace.replace_block(block.path, new_block)
+        return new_block
+
+    def complete_file(self, client: str, path: str) -> ProcessGenerator:
+        """§II step 6: the client reports all ACKs received."""
+        yield from self._rpc()
+        inode = self.namespace.complete(path, client)
+        for block in inode.blocks:
+            self.blocks.commit(block.block_id)
+        self.journal.emit(
+            self.env.now, "file_complete", path, client=client,
+            blocks=len(inode.blocks),
+        )
+
+    def client_heartbeat(self, client: str, records: dict[str, float]) -> ProcessGenerator:
+        """SMARTH §III-B: speed records piggybacked on the heartbeat."""
+        yield from self._rpc()
+        self.speeds.update(client, records)
+
+    # -- datanode-facing (synchronous, reached via control messages) -----------
+    def register_datanode(self, name: str, rack: str) -> None:
+        self.datanodes.register(name, rack)
+
+    def datanode_heartbeat(self, name: str) -> None:
+        self.datanodes.heartbeat(name)
+
+    def block_received(self, block_id: int, datanode: str, size: int) -> None:
+        self.blocks.replica_received(block_id, datanode, size)
+
+    # -- cluster-state queries (for tests and the experiment harness) ----------
+    def replication_of(self, block_id: int) -> int:
+        return self.blocks.replication_of(block_id)
+
+    def file_fully_replicated(self, path: str) -> bool:
+        """True iff every block of ``path`` has ``replication`` finalized
+        replicas — the end-state every fault-tolerance test asserts."""
+        inode = self.namespace.get(path)
+        return all(
+            self.blocks.replication_of(b.block_id) >= self.config.replication
+            for b in inode.blocks
+        )

@@ -1,0 +1,106 @@
+"""Replica placement policies.
+
+The default HDFS policy (§V-B.1): first replica on the client itself if
+the client is a datanode, otherwise a random not-too-busy node; second
+replica on a different rack from the first; third on the second's rack but
+a different node; further replicas anywhere.  This "offers good
+reliability … at the cost of performance" — the property SMARTH's
+Algorithm 1 (in :mod:`repro.smarth.global_opt`) trades differently.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterable, Sequence
+
+from ..net.topology import Topology
+from .datanode_manager import DatanodeManager
+from .protocol import NoDatanodesAvailable
+
+__all__ = ["PlacementPolicy", "DefaultPlacementPolicy"]
+
+
+class PlacementPolicy(ABC):
+    """Strategy interface used by the namenode's addBlock()."""
+
+    @abstractmethod
+    def choose_targets(
+        self,
+        client: str,
+        replication: int,
+        excluded: Iterable[str] = (),
+    ) -> tuple[str, ...]:
+        """Pick ``replication`` distinct live datanodes for a new block."""
+
+    @staticmethod
+    def _pick(rng: random.Random, candidates: Sequence[str]) -> str:
+        return candidates[rng.randrange(len(candidates))]
+
+
+class DefaultPlacementPolicy(PlacementPolicy):
+    """Hadoop 1.x rack-aware random placement."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        datanodes: DatanodeManager,
+        rng: random.Random,
+    ):
+        self.topology = topology
+        self.datanodes = datanodes
+        self.rng = rng
+
+    def choose_targets(
+        self,
+        client: str,
+        replication: int,
+        excluded: Iterable[str] = (),
+    ) -> tuple[str, ...]:
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        excluded_set = set(excluded)
+        available = [
+            d for d in self.datanodes.live_datanodes() if d not in excluded_set
+        ]
+        if not available:
+            raise NoDatanodesAvailable("no live datanodes available")
+        # Hadoop's chooseTarget degrades gracefully: place on as many
+        # nodes as exist, even if fewer than the replication factor.
+        replication = min(replication, len(available))
+
+        targets: list[str] = []
+
+        # Replica 1: the client itself when it is a datanode, else random.
+        if client in available:
+            first = client
+        else:
+            first = self._pick(self.rng, available)
+        targets.append(first)
+
+        # Replica 2: a different rack from the first (fall back to any).
+        if len(targets) < replication:
+            first_rack = self.topology.rack_of(first)
+            remaining = [d for d in available if d not in targets]
+            off_rack = [
+                d for d in remaining if self.topology.rack_of(d) != first_rack
+            ]
+            second = self._pick(self.rng, off_rack or remaining)
+            targets.append(second)
+
+        # Replica 3: same rack as the second, different node (fall back).
+        if len(targets) < replication:
+            second_rack = self.topology.rack_of(targets[1])
+            remaining = [d for d in available if d not in targets]
+            same_rack = [
+                d for d in remaining if self.topology.rack_of(d) == second_rack
+            ]
+            third = self._pick(self.rng, same_rack or remaining)
+            targets.append(third)
+
+        # Any further replicas: uniform random over what's left.
+        while len(targets) < replication:
+            remaining = [d for d in available if d not in targets]
+            targets.append(self._pick(self.rng, remaining))
+
+        return tuple(targets)

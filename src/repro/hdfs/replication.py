@@ -1,0 +1,177 @@
+"""Background re-replication of under-replicated blocks.
+
+Real HDFS's namenode continuously scans for blocks whose live replica
+count dropped below the target (a datanode died, a disk failed) and
+schedules copies from a surviving holder to a fresh target.  The write
+path's pipeline recovery (Algorithms 3/4) only protects blocks *being
+written*; this monitor is what heals blocks that lose replicas *after*
+their file completed — without it, the fault story of any HDFS
+reproduction is only half told.
+
+Model:
+
+* every ``interval`` the monitor diffs the block manager against the
+  liveness map (dead nodes' replicas are dropped, mirroring HDFS
+  processing a dead node's block list);
+* each under-replicated, COMPLETE block gets one replication task:
+  a surviving holder streams the block to a new target (rack-aware:
+  prefer a rack not yet holding a replica), which writes it to disk and
+  reports ``blockReceived``;
+* per-source concurrency is capped (HDFS's
+  ``dfs.namenode.replication.max-streams`` analogue).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Optional
+
+from ..sim import Interrupt, ProcessGenerator
+from .protocol import BlockState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .deployment import HdfsDeployment
+
+__all__ = ["ReplicationMonitor", "copy_block"]
+
+
+def copy_block(
+    deployment: "HdfsDeployment", block_id: int, source: str, target: str
+) -> ProcessGenerator:
+    """Stream one block replica from ``source`` to ``target``.
+
+    The shared primitive behind background re-replication and graceful
+    decommissioning: disk read at the source, one network transfer, disk
+    write at the target, then ``blockReceived`` (dropped if the target
+    died mid-copy).
+    """
+    namenode = deployment.namenode
+    env = deployment.env
+    info = namenode.blocks.info(block_id)
+    size = info.block.size
+    src_dn = deployment.datanode(source)
+    dst_dn = deployment.datanode(target)
+    read = env.process(src_dn.node.disk.read(size))
+    yield env.process(
+        deployment.network.transfer(src_dn.node, dst_dn.node, size)
+    )
+    yield read
+    yield env.process(dst_dn.node.disk.write(size))
+    if dst_dn.node.alive:
+        namenode.block_received(block_id, target, size)
+        return True
+    return False
+
+
+class ReplicationMonitor:
+    """Namenode-side healing of under-replicated complete blocks."""
+
+    def __init__(
+        self,
+        deployment: "HdfsDeployment",
+        interval: Optional[float] = None,
+        max_streams_per_source: int = 2,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.namenode = deployment.namenode
+        config = deployment.config.hdfs
+        #: Scan period; defaults to one heartbeat interval.
+        self.interval = interval or config.heartbeat_interval
+        self.max_streams_per_source = max_streams_per_source
+        self.replication = config.replication
+
+        #: Blocks with an in-flight replication task.
+        self._in_flight: set[int] = set()
+        #: Per-source active stream counts.
+        self._streams: dict[str, int] = {}
+        #: Completed re-replications (for tests/reporting).
+        self.completed: list[tuple[int, str, str]] = []
+        self.rng = random.Random(deployment.config.seed ^ 0x9EA1)
+        self._proc = self.env.process(self._run(), name="nn:replication")
+
+    def stop(self) -> None:
+        if self._proc.is_alive:
+            self._proc.interrupt("monitor stopped")
+
+    # ------------------------------------------------------------------
+    def _run(self) -> ProcessGenerator:
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                self._sweep_dead_nodes()
+                for task in self._plan():
+                    block_id, source, target = task
+                    self._in_flight.add(block_id)
+                    self._streams[source] = self._streams.get(source, 0) + 1
+                    self.env.process(
+                        self._replicate(block_id, source, target),
+                        name=f"rerepl:b{block_id}",
+                    )
+        except Interrupt:
+            return
+
+    def _sweep_dead_nodes(self) -> None:
+        """Drop replicas hosted on namenode-declared-dead datanodes.
+
+        Checks machine liveness, not schedulability: a *decommissioning*
+        node is unschedulable but its replicas still exist and still
+        serve — sweeping them would fight the decommission drain.
+        """
+        manager = self.namenode.datanodes
+        for name in manager.all_names():
+            if not manager.descriptor(name).alive:
+                self.namenode.blocks.remove_datanode(name)
+
+    def _plan(self) -> list[tuple[int, str, str]]:
+        """One (block, source, target) task per healable block."""
+        blocks = self.namenode.blocks
+        manager = self.namenode.datanodes
+        live = set(manager.live_datanodes())
+        tasks: list[tuple[int, str, str]] = []
+
+        for block_id in blocks.under_replicated(self.replication):
+            if block_id in self._in_flight:
+                continue
+            info = blocks.info(block_id)
+            if info.state is not BlockState.COMPLETE:
+                continue  # the writing client's recovery owns this block
+            holders = [d for d in blocks.locations(block_id) if d in live]
+            if not holders:
+                continue  # unrecoverable: no live replica at all
+            sources = [
+                s
+                for s in holders
+                if self._streams.get(s, 0) < self.max_streams_per_source
+            ]
+            if not sources:
+                continue
+            source = sources[self.rng.randrange(len(sources))]
+            target = self._pick_target(holders, live)
+            if target is None:
+                continue
+            tasks.append((block_id, source, target))
+        return tasks
+
+    def _pick_target(self, holders: list[str], live: set[str]) -> Optional[str]:
+        """A live non-holder, preferring a rack without a replica yet."""
+        topology = self.deployment.network.topology
+        candidates = sorted(live - set(holders))
+        if not candidates:
+            return None
+        holder_racks = {topology.rack_of(h) for h in holders}
+        fresh_rack = [
+            c for c in candidates if topology.rack_of(c) not in holder_racks
+        ]
+        pool = fresh_rack or candidates
+        return pool[self.rng.randrange(len(pool))]
+
+    def _replicate(self, block_id: int, source: str, target: str) -> ProcessGenerator:
+        """One bookkept :func:`copy_block` task."""
+        try:
+            ok = yield from copy_block(self.deployment, block_id, source, target)
+            if ok:
+                self.completed.append((block_id, source, target))
+        finally:
+            self._in_flight.discard(block_id)
+            self._streams[source] = max(0, self._streams.get(source, 0) - 1)

@@ -1,0 +1,5 @@
+"""Map-phase execution over HDFS files (the paper's §VII future work)."""
+
+from .job import JobConfig, JobResult, MapRunner, TaskRecord
+
+__all__ = ["MapRunner", "JobConfig", "JobResult", "TaskRecord"]

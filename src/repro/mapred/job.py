@@ -1,0 +1,221 @@
+"""A map-phase runner over HDFS files — the paper's §VII future work.
+
+"In the future, we plan to investigate SMARTH's impact on MapReduce jobs
+and tasks."  This module implements the piece needed to do that: a
+Hadoop-style map phase that schedules one task per block, preferring
+**data-local** execution (a task running on a node that holds a replica
+reads from local disk; otherwise it streams the block from the nearest
+replica over the network), with a bounded number of map slots per node.
+
+The interesting questions it answers (see
+``benchmarks/bench_future_mapreduce.py``):
+
+* does a SMARTH-ingested file process as fast as an HDFS-ingested one?
+  (Both are fully replicated, but SMARTH's speed-biased placement skews
+  *where* replicas land, which can concentrate tasks on fewer nodes.)
+* how does the end-to-end ingest+analyze time compare?
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..cluster.node import Node
+from ..hdfs.deployment import HdfsDeployment
+from ..sim import ProcessGenerator, Resource
+from ..units import MB
+
+__all__ = ["JobConfig", "TaskRecord", "JobResult", "MapRunner"]
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """Map-phase parameters (Hadoop TaskTracker analogues)."""
+
+    #: Concurrent map tasks per datanode (mapred.tasktracker.map.tasks).
+    map_slots_per_node: int = 2
+    #: Per-task record-processing throughput, bytes/second.
+    compute_rate: float = 50 * MB
+    #: Task dispatch overhead (JVM spawn, heartbeat-based assignment).
+    scheduler_delay: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.map_slots_per_node < 1:
+            raise ValueError("map_slots_per_node must be >= 1")
+        if self.compute_rate <= 0:
+            raise ValueError("compute_rate must be positive")
+        if self.scheduler_delay < 0:
+            raise ValueError("scheduler_delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One finished map task."""
+
+    block_id: int
+    node: str
+    data_local: bool
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class JobResult:
+    """Outcome of one map phase."""
+
+    path: str
+    n_tasks: int
+    start: float
+    end: float
+    tasks: list[TaskRecord] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of tasks that ran data-local."""
+        if not self.tasks:
+            return 0.0
+        return sum(1 for t in self.tasks if t.data_local) / len(self.tasks)
+
+
+class MapRunner:
+    """Schedules and executes one map task per block of a file."""
+
+    def __init__(self, deployment: HdfsDeployment, config: Optional[JobConfig] = None):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.config = config or JobConfig()
+        self.rng = random.Random(deployment.config.seed ^ 0x3A9)
+        #: One slot pool per datanode, created lazily per job.
+        self._slots: dict[str, Resource] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, path: str) -> ProcessGenerator:
+        """Run the map phase over ``path``; returns a :class:`JobResult`."""
+        namenode = self.deployment.namenode
+        yield from namenode._rpc()  # job client fetches block locations
+        inode = namenode.namespace.get(path)
+
+        self._slots = {
+            name: Resource(self.env, capacity=self.config.map_slots_per_node)
+            for name, dn in self.deployment.datanodes.items()
+            if dn.node.alive
+        }
+
+        result = JobResult(
+            path=path,
+            n_tasks=len(inode.blocks),
+            start=self.env.now,
+            end=self.env.now,
+        )
+
+        assignments = self._assign(inode.blocks)
+        tasks = [
+            self.env.process(
+                self._task(block, node, result), name=f"map:b{block.block_id}"
+            )
+            for block, node in assignments
+        ]
+        yield self.env.all_of(tasks)
+        result.end = self.env.now
+        result.tasks.sort(key=lambda t: (t.start, t.block_id))
+        return result
+
+    # ------------------------------------------------------------------
+    def _assign(self, blocks) -> list[tuple[object, str]]:
+        """Greedy locality-aware assignment, balancing per-node load."""
+        namenode = self.deployment.namenode
+        load: dict[str, int] = {name: 0 for name in self._slots}
+        assignments = []
+        for block in blocks:
+            holders = [
+                d
+                for d in namenode.blocks.locations(block.block_id)
+                if d in self._slots
+            ]
+            if holders:
+                # Least-loaded replica holder (Hadoop's scheduler strives
+                # for node-locality first).
+                self.rng.shuffle(holders)
+                node = min(holders, key=lambda d: load[d])
+            else:
+                candidates = sorted(load)
+                if not candidates:
+                    raise RuntimeError("no live datanodes to run tasks on")
+                node = min(candidates, key=lambda d: load[d])
+            load[node] += 1
+            assignments.append((block, node))
+        return assignments
+
+    def _task(self, block, node_name: str, result: JobResult) -> ProcessGenerator:
+        """One map task: acquire a slot, stream the block, compute."""
+        datanode = self.deployment.datanode(node_name)
+        local = node_name in self.deployment.namenode.blocks.locations(
+            block.block_id
+        )
+        with self._slots[node_name].request() as slot:
+            yield slot
+            start = self.env.now
+            yield self.env.timeout(self.config.scheduler_delay)
+            if local:
+                yield from self._local_scan(datanode.node, block.size)
+            else:
+                yield from self._remote_scan(datanode.node, block)
+            result.tasks.append(
+                TaskRecord(
+                    block_id=block.block_id,
+                    node=node_name,
+                    data_local=local,
+                    start=start,
+                    end=self.env.now,
+                )
+            )
+
+    def _local_scan(self, node: Node, size: int) -> ProcessGenerator:
+        """Streamed read+compute: effective rate = min(disk, compute).
+
+        The disk channel is occupied for the read portion (concurrent
+        tasks on one node contend realistically); if the CPU is slower
+        than the disk, the compute shortfall is served afterwards.
+        """
+        t0 = self.env.now
+        yield self.env.process(node.disk.read(size))
+        yield from self._compute_tail(size, t0)
+
+    def _remote_scan(self, node: Node, block) -> ProcessGenerator:
+        """Stream the block from the nearest live replica, computing as
+        the data arrives."""
+        namenode = self.deployment.namenode
+        topology = self.deployment.network.topology
+        sources = [
+            d
+            for d in namenode.blocks.locations(block.block_id)
+            if self.deployment.datanode(d).node.alive
+        ]
+        if not sources:
+            raise RuntimeError(f"block {block.block_id}: no live replica")
+        sources.sort(key=lambda d: topology.distance(node.name, d))
+        source = self.deployment.datanode(sources[0])
+        t0 = self.env.now
+        read = self.env.process(source.node.disk.read(block.size))
+        yield self.env.process(
+            self.deployment.network.transfer(source.node, node, block.size)
+        )
+        yield read
+        yield from self._compute_tail(block.size, t0)
+
+    def _compute_tail(self, size: int, t0: float) -> ProcessGenerator:
+        """Wait out the CPU shortfall of a streamed scan, if any."""
+        compute_time = size / self.config.compute_rate
+        elapsed = self.env.now - t0
+        if compute_time > elapsed:
+            yield self.env.timeout(compute_time - elapsed)

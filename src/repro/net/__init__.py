@@ -1,0 +1,34 @@
+"""Network substrate: NICs, topology, throttling (tc emulation), transport."""
+
+from .nic import NIC
+from .stats import FlowSample, FlowStats
+from .throttle import (
+    NodeThrottle,
+    PairThrottle,
+    RackBoundaryThrottle,
+    ThrottleRule,
+    ThrottleTable,
+)
+from .topology import (
+    DISTANCE_OFF_RACK,
+    DISTANCE_SAME_NODE,
+    DISTANCE_SAME_RACK,
+    Topology,
+)
+from .transport import Network
+
+__all__ = [
+    "NIC",
+    "Network",
+    "Topology",
+    "ThrottleTable",
+    "ThrottleRule",
+    "NodeThrottle",
+    "PairThrottle",
+    "RackBoundaryThrottle",
+    "FlowSample",
+    "FlowStats",
+    "DISTANCE_SAME_NODE",
+    "DISTANCE_SAME_RACK",
+    "DISTANCE_OFF_RACK",
+]

@@ -1,0 +1,69 @@
+"""Full-duplex network interface model.
+
+A NIC has two independent serializing channels — egress and ingress — so a
+node can send and receive at full rate simultaneously (EC2 instances are
+full duplex), but concurrent *sends* from one node share its egress
+capacity by queueing.  That queueing is the physical mechanism behind the
+paper's observation that a single synchronous pipeline "could not
+optimally make use of network capacity": with one pipeline, the client's
+egress channel sits idle while waiting for ACKs; SMARTH's multiple
+pipelines keep it busy.
+"""
+
+from __future__ import annotations
+
+from ..sim import Environment, ProcessGenerator, Resource
+
+__all__ = ["NIC"]
+
+
+class NIC:
+    """A full-duplex network interface with a fixed line rate.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    rate:
+        Line rate in bytes/second (e.g. ``mbps(216)`` for an EC2 small
+        instance).
+    name:
+        Diagnostic label, usually the owning node's name.
+    """
+
+    def __init__(self, env: Environment, rate: float, name: str = "nic"):
+        if rate <= 0:
+            raise ValueError(f"NIC rate must be positive, got {rate}")
+        self.env = env
+        self.rate = float(rate)
+        self.name = name
+        #: Serializing transmit channel: one frame on the wire at a time.
+        self.egress = Resource(env, capacity=1)
+        #: Serializing receive channel.
+        self.ingress = Resource(env, capacity=1)
+        #: Lifetime byte counters (for throughput accounting).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def occupy_egress(self, size: int, rate: float) -> ProcessGenerator:
+        """Hold the transmit channel for ``size / rate`` seconds.
+
+        ``rate`` is the *effective* path rate (already min-reduced over the
+        receiver and any throttles), which models a ``tc``-shaped flow: the
+        sender clocks packets out at the shaped rate, so a slow destination
+        occupies the sender for longer.
+        """
+        with self.egress.request() as grant:
+            yield grant
+            yield self.env.timeout(size / rate)
+            self.bytes_sent += size
+
+    def occupy_ingress(self, size: int, rate: float) -> ProcessGenerator:
+        """Hold the receive channel for ``size / rate`` seconds."""
+        with self.ingress.request() as grant:
+            yield grant
+            yield self.env.timeout(size / rate)
+            self.bytes_received += size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NIC {self.name} rate={self.rate:.0f} B/s>"

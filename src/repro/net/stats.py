@@ -1,0 +1,70 @@
+"""Per-flow transfer accounting.
+
+The SMARTH client needs measured transfer speeds per first-datanode
+(§III-B); the experiment harness needs end-to-end throughput.  Both read
+from :class:`FlowStats` records collected by the transport layer.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["FlowSample", "FlowStats"]
+
+
+@dataclass(frozen=True)
+class FlowSample:
+    """One completed transfer: ``size`` bytes from ``src`` to ``dst``."""
+
+    src: str
+    dst: str
+    size: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def rate(self) -> float:
+        """Observed rate in bytes/second (0 for zero-duration transfers)."""
+        return self.size / self.duration if self.duration > 0 else 0.0
+
+
+@dataclass
+class FlowStats:
+    """Accumulates :class:`FlowSample` records grouped by node pair."""
+
+    samples: list[FlowSample] = field(default_factory=list)
+    _by_pair: dict[tuple[str, str], list[FlowSample]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+
+    def record(self, sample: FlowSample) -> None:
+        self.samples.append(sample)
+        self._by_pair[(sample.src, sample.dst)].append(sample)
+
+    def total_bytes(self, src: str | None = None, dst: str | None = None) -> int:
+        """Total bytes over flows matching the given endpoints (None = any)."""
+        return sum(
+            s.size
+            for s in self.samples
+            if (src is None or s.src == src) and (dst is None or s.dst == dst)
+        )
+
+    def mean_rate(self, src: str, dst: str) -> float:
+        """Average observed rate between a pair, 0.0 if never measured."""
+        flows = self._by_pair.get((src, dst), [])
+        if not flows:
+            return 0.0
+        total_bytes = sum(s.size for s in flows)
+        total_time = sum(s.duration for s in flows)
+        return total_bytes / total_time if total_time > 0 else 0.0
+
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        return tuple(sorted(self._by_pair))
+
+    def __len__(self) -> int:
+        return len(self.samples)

@@ -1,0 +1,120 @@
+"""Rack-aware network topology.
+
+HDFS models the network as a tree (datacenter → racks → nodes) and
+measures "distance" as the number of tree edges between nodes: 0 for the
+same node, 2 within a rack, 4 across racks.  The default placement policy
+and SMARTH's Algorithm 1 both need these queries (``randomRemoteRackNode``,
+``nodeOnSameRack``), so the topology is a first-class substrate object,
+backed by a :mod:`networkx` graph for distance computation and for
+exporting/visualizing cluster layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import networkx as nx
+
+__all__ = ["Topology", "DISTANCE_SAME_NODE", "DISTANCE_SAME_RACK", "DISTANCE_OFF_RACK"]
+
+DISTANCE_SAME_NODE = 0
+DISTANCE_SAME_RACK = 2
+DISTANCE_OFF_RACK = 4
+
+_ROOT = "/"
+
+
+class Topology:
+    """A two-level tree: root → racks → hosts."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._graph.add_node(_ROOT, kind="root")
+        self._rack_of: dict[str, str] = {}
+
+    # -- construction -----------------------------------------------------
+    def add_rack(self, rack: str) -> None:
+        """Register a rack (idempotent)."""
+        if not rack:
+            raise ValueError("rack name must be non-empty")
+        if not self._graph.has_node(f"rack:{rack}"):
+            self._graph.add_node(f"rack:{rack}", kind="rack", name=rack)
+            self._graph.add_edge(_ROOT, f"rack:{rack}")
+
+    def add_host(self, host: str, rack: str) -> None:
+        """Place ``host`` in ``rack``, creating the rack if needed."""
+        if host in self._rack_of:
+            raise ValueError(f"host {host!r} already registered")
+        self.add_rack(rack)
+        self._graph.add_node(f"host:{host}", kind="host", name=host)
+        self._graph.add_edge(f"rack:{rack}", f"host:{host}")
+        self._rack_of[host] = rack
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def racks(self) -> tuple[str, ...]:
+        """All rack names, sorted."""
+        return tuple(
+            sorted(
+                data["name"]
+                for _, data in self._graph.nodes(data=True)
+                if data.get("kind") == "rack"
+            )
+        )
+
+    @property
+    def hosts(self) -> tuple[str, ...]:
+        """All host names, sorted."""
+        return tuple(sorted(self._rack_of))
+
+    def rack_of(self, host: str) -> str:
+        """The rack containing ``host``."""
+        try:
+            return self._rack_of[host]
+        except KeyError:
+            raise KeyError(f"unknown host {host!r}") from None
+
+    def hosts_in_rack(self, rack: str) -> tuple[str, ...]:
+        """All hosts in ``rack``, sorted."""
+        if f"rack:{rack}" not in self._graph:
+            raise KeyError(f"unknown rack {rack!r}")
+        return tuple(sorted(h for h, r in self._rack_of.items() if r == rack))
+
+    def same_rack(self, a: str, b: str) -> bool:
+        """True iff both hosts share a rack."""
+        return self.rack_of(a) == self.rack_of(b)
+
+    def distance(self, a: str, b: str) -> int:
+        """HDFS tree distance (0 same node, 2 same rack, 4 off rack).
+
+        Computed via shortest path on the topology tree so it stays
+        correct if the tree ever grows more levels.
+        """
+        if a == b:
+            self.rack_of(a)  # raise on unknown host
+            return DISTANCE_SAME_NODE
+        return nx.shortest_path_length(self._graph, f"host:{a}", f"host:{b}")
+
+    def remote_rack_hosts(self, host: str) -> tuple[str, ...]:
+        """All hosts *not* in ``host``'s rack, sorted (Algorithm 1 l.12)."""
+        rack = self.rack_of(host)
+        return tuple(sorted(h for h, r in self._rack_of.items() if r != rack))
+
+    def graph_copy(self) -> nx.Graph:
+        """A copy of the underlying graph (for analysis/plotting)."""
+        return self._graph.copy()
+
+    @classmethod
+    def from_rack_map(cls, rack_map: dict[str, Iterable[str]]) -> "Topology":
+        """Build from ``{rack_name: [host, ...]}``."""
+        topo = cls()
+        for rack, hosts in rack_map.items():
+            for host in hosts:
+                topo.add_host(host, rack)
+        return topo
+
+    def __contains__(self, host: str) -> bool:
+        return host in self._rack_of
+
+    def __len__(self) -> int:
+        return len(self._rack_of)

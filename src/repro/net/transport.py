@@ -1,0 +1,95 @@
+"""The network fabric: data transfers and control messages between nodes.
+
+:class:`Network` bundles the topology, the throttle table and flow
+statistics, and provides the two primitives every protocol in this
+reproduction is built from:
+
+* :meth:`Network.transfer` — move ``size`` bytes from one node to another.
+  The transfer occupies the sender's egress channel and the receiver's
+  ingress channel for ``size / effective_rate`` (store-and-forward), then
+  arrives after the link propagation latency.  Effective rate is the min
+  of NIC rates and throttle rules — the ``tc`` model.
+* :meth:`Network.send_control` — deliver a latency-only control message
+  (ACK hop, FNFA, RPC).  Control packets are a few dozen bytes; per
+  §III-D "the time of transferring ACKs and the time of sending data
+  packets overlaps", so they do not contend for NIC bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import NetworkConfig
+from ..sim import Environment, ProcessGenerator
+from .stats import FlowSample, FlowStats
+from .throttle import ThrottleTable
+from .topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+__all__ = ["Network"]
+
+
+class Network:
+    """The shared fabric connecting every node in a cluster."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        throttles: ThrottleTable | None = None,
+        config: NetworkConfig | None = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.throttles = throttles if throttles is not None else ThrottleTable()
+        self.config = config if config is not None else NetworkConfig()
+        self.stats = FlowStats()
+
+    def effective_rate(self, src: "Node", dst: "Node") -> float:
+        """Current shaped rate between two nodes, bytes/second."""
+        return self.throttles.effective_rate(src, dst)
+
+    def transfer(self, src: "Node", dst: "Node", size: int) -> ProcessGenerator:
+        """Move ``size`` bytes from ``src`` to ``dst`` (a process generator).
+
+        Completes when the last byte has *arrived* at ``dst``.  Yields the
+        flow's :class:`FlowSample` as the process return value so callers
+        can feed SMARTH's speed records.
+        """
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size}")
+        start = self.env.now
+        if src is dst:
+            # Loopback (e.g. a client co-located with a datanode): no NIC
+            # occupancy, negligible latency.
+            yield self.env.timeout(0)
+        else:
+            rate = self.effective_rate(src, dst)
+            egress = self.env.process(
+                src.nic.occupy_egress(size, rate), name=f"tx:{src.name}->{dst.name}"
+            )
+            ingress = self.env.process(
+                dst.nic.occupy_ingress(size, rate), name=f"rx:{src.name}->{dst.name}"
+            )
+            yield self.env.all_of([egress, ingress])
+            yield self.env.timeout(self.config.link_latency)
+        sample = FlowSample(
+            src=src.name, dst=dst.name, size=size, start=start, end=self.env.now
+        )
+        self.stats.record(sample)
+        return sample
+
+    def send_control(self, src: "Node", dst: "Node") -> ProcessGenerator:
+        """Deliver a latency-only control message from ``src`` to ``dst``."""
+        if src is dst:
+            yield self.env.timeout(0)
+        else:
+            yield self.env.timeout(self.config.control_latency)
+
+    def connection_setup(self, hops: int = 1) -> ProcessGenerator:
+        """Model pipeline construction cost: ``hops`` stream connects."""
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        yield self.env.timeout(self.config.connection_setup * hops)

@@ -1,0 +1,33 @@
+"""A compact discrete-event simulation kernel (simpy-style).
+
+Built from scratch for this reproduction so the whole system is
+self-contained: generator-coroutine processes scheduled over a binary-heap
+event queue, with counted resources and FIFO stores as the concurrency
+primitives.  See :class:`Environment` for the entry point.
+"""
+
+from .environment import Environment
+from .errors import EmptySchedule, Interrupt, SimulationError
+from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .process import Process, ProcessGenerator
+from .resources import Release, Request, Resource, Store, StoreGet, StorePut
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "Process",
+    "ProcessGenerator",
+    "Interrupt",
+    "SimulationError",
+    "EmptySchedule",
+    "Resource",
+    "Request",
+    "Release",
+    "Store",
+    "StorePut",
+    "StoreGet",
+]

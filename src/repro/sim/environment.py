@@ -1,0 +1,161 @@
+"""The simulation environment: clock, scheduler, and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional
+
+from .errors import EmptySchedule, StopSimulation
+from .events import AllOf, AnyOf, Event, Timeout
+from .process import Process, ProcessGenerator
+
+__all__ = ["Environment", "NORMAL", "URGENT"]
+
+#: Priority for interrupt-style events that must run before normal ones
+#: scheduled at the same instant.
+URGENT = 0
+#: Default scheduling priority.
+NORMAL = 1
+
+
+class Environment:
+    """Owns the simulated clock and the pending-event heap.
+
+    All model components (NICs, disks, namenode, clients, …) share one
+    environment.  Time is a float in **seconds** and only advances inside
+    :meth:`run` / :meth:`step`; nothing in the simulator reads wall-clock
+    time, so runs are fully deterministic given the model's RNG seeds.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Process | None = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none remain."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: ProcessGenerator, name: str | None = None
+    ) -> Process:
+        """Start a new process from a generator and return its event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when every event in ``events`` has fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when any event in ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` for processing at ``now + delay``.
+
+        Called by :meth:`Event.succeed`/:meth:`Event.fail`; model code
+        normally never calls this directly.
+        """
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("no scheduled events remain") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it instead of silently
+            # corrupting the run.
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else RuntimeError(exc)
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until ``until`` (a time or an event) or until no events remain.
+
+        * ``until is None`` — run the schedule dry and return ``None``.
+        * ``until`` is a number — advance the clock to exactly that time.
+        * ``until`` is an :class:`Event` — run until it fires; return its
+          value (re-raising its exception if it failed).
+        """
+        stop: Event | None = None
+        if until is not None:
+            if isinstance(until, Event):
+                stop = until
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise ValueError(
+                        f"until ({at}) must not lie in the past (now={self._now})"
+                    )
+                stop = Timeout(self, at - self._now)
+
+            if stop.callbacks is None:  # already processed
+                if isinstance(until, Event):
+                    if not stop._ok:
+                        raise stop._value
+                    return stop._value
+                return None
+            stop.callbacks.append(self._stop_callback)
+
+        try:
+            while True:
+                self.step()
+        except StopSimulation as signal:
+            if isinstance(until, Event):
+                assert stop is not None
+                if not stop._ok:
+                    stop.defuse()
+                    raise stop._value
+                return signal.value
+            # Pin the clock to the requested stop time even if the last
+            # event processed was earlier.
+            if not isinstance(until, Event) and until is not None:
+                self._now = float(until)
+            return None
+        except EmptySchedule:
+            if stop is not None and not stop.triggered:
+                raise RuntimeError(
+                    "schedule ran dry before the 'until' event fired"
+                ) from None
+            return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event._value)

@@ -1,0 +1,234 @@
+"""Shared resources for processes: counted resources and FIFO stores.
+
+Two primitives cover everything the HDFS/SMARTH models need:
+
+* :class:`Resource` — ``capacity`` concurrent holders, FIFO queuing.  Used
+  for NIC transmit channels, disk write channels and namenode RPC handler
+  slots; queueing at these resources is what produces bandwidth sharing.
+* :class:`Store` — an optionally-bounded FIFO buffer of items.  Used for
+  the client data queue, per-pipeline ACK queues and datanode forwarding
+  buffers (where the bound models the 64 MB first-datanode buffer).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Generic, TypeVar
+
+from .environment import Environment
+from .events import Event
+
+__all__ = ["Request", "Release", "Resource", "Store", "StorePut", "StoreGet"]
+
+T = TypeVar("T")
+
+
+class Request(Event):
+    """Event granted when the resource admits this request.
+
+    Usable as a context manager so that ``with resource.request() as req:``
+    always releases, even on interrupt.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._admit(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (or withdraw from the wait queue)."""
+        self.resource.release(self)
+
+
+class Release(Event):
+    """Immediately-succeeding event returned by :meth:`Resource.release`."""
+
+    __slots__ = ()
+
+
+class Resource:
+    """A counted resource with FIFO admission.
+
+    ``capacity`` requests may hold the resource simultaneously; further
+    requests wait in arrival order.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._users: list[Request] = []
+        self._waiting: Deque[Request] = deque()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def count(self) -> int:
+        """Number of requests currently holding the resource."""
+        return len(self._users)
+
+    @property
+    def queue_len(self) -> int:
+        """Number of requests waiting for admission."""
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        return Request(self)
+
+    def release(self, request: Request) -> Release:
+        """Give back a slot (or withdraw a waiting request)."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                pass  # releasing twice is a no-op, mirroring simpy
+        done = Release(self.env)
+        done.succeed()
+        return done
+
+    # ------------------------------------------------------------------
+    def _admit(self, request: Request) -> None:
+        if len(self._users) < self._capacity:
+            self._users.append(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def _grant_next(self) -> None:
+        while self._waiting and len(self._users) < self._capacity:
+            nxt = self._waiting.popleft()
+            self._users.append(nxt)
+            nxt.succeed()
+
+
+class StorePut(Event, Generic[T]):
+    """Event fired when an item has been accepted into the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store[T]", item: T):
+        super().__init__(store.env)
+        self.item = item
+        store._handle_put(self)
+
+
+class StoreGet(Event, Generic[T]):
+    """Event fired (with the item as value) when an item is available."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store[T]", filter: Callable[[T], bool] | None = None):
+        super().__init__(store.env)
+        self.filter = filter
+        store._handle_get(self)
+
+
+class Store(Generic[T]):
+    """FIFO buffer of items with optional capacity bound.
+
+    ``put`` blocks (i.e. its event stays pending) while the store is full;
+    ``get`` blocks while it is empty.  ``get`` accepts an optional filter
+    predicate (first matching item wins) used e.g. to await a specific ACK
+    sequence number.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self._capacity = capacity
+        self._items: Deque[T] = deque()
+        self._putters: Deque[StorePut[T]] = deque()
+        self._getters: Deque[StoreGet[T]] = deque()
+
+    @property
+    def capacity(self) -> float:
+        return self._capacity
+
+    @property
+    def items(self) -> tuple[T, ...]:
+        """Snapshot of buffered items (read-only view for assertions)."""
+        return tuple(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: T) -> StorePut[T]:
+        """Offer ``item``; the event fires once the store has room."""
+        return StorePut(self, item)
+
+    def get(self, filter: Callable[[T], bool] | None = None) -> StoreGet[T]:
+        """Take the oldest item (matching ``filter`` if given)."""
+        return StoreGet(self, filter)
+
+    def drain(self) -> list[T]:
+        """Remove and return all buffered items synchronously.
+
+        Used by fault recovery to move un-ACKed packets back to the data
+        queue (Algorithm 3 step 3 / Algorithm 4 step 2).
+        """
+        items = list(self._items)
+        self._items.clear()
+        self._wake_putters()
+        return items
+
+    # ------------------------------------------------------------------
+    def _handle_put(self, event: StorePut[T]) -> None:
+        if len(self._items) < self._capacity:
+            self._items.append(event.item)
+            event.succeed()
+            self._wake_getters()
+        else:
+            self._putters.append(event)
+
+    def _handle_get(self, event: StoreGet[T]) -> None:
+        self._match(event)
+        if event.triggered:
+            self._wake_putters()
+        else:
+            self._getters.append(event)
+
+    def _match(self, event: StoreGet[T]) -> None:
+        """Find, remove and deliver the first item matching the getter."""
+        if event.filter is None:
+            if self._items:
+                event.succeed(self._items.popleft())
+            return
+        for idx, item in enumerate(self._items):
+            if event.filter(item):
+                del self._items[idx]
+                event.succeed(item)
+                return
+
+    def _wake_getters(self) -> None:
+        if not self._getters:
+            return
+        pending: Deque[StoreGet[T]] = deque()
+        while self._getters:
+            getter = self._getters.popleft()
+            self._match(getter)
+            if not getter.triggered:
+                pending.append(getter)
+        self._getters = pending
+
+    def _wake_putters(self) -> None:
+        while self._putters and len(self._items) < self._capacity:
+            putter = self._putters.popleft()
+            self._items.append(putter.item)
+            putter.succeed()
+            self._wake_getters()

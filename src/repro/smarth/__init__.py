@@ -1,0 +1,24 @@
+"""SMARTH: asynchronous multi-pipeline HDFS data transfer (the paper's
+contribution) — multi-pipeline client, FNFA handling, global (Algorithm 1)
+and local (Algorithm 2) optimizers, and multi-pipeline fault tolerance
+(Algorithm 4)."""
+
+from .deployment import SmarthDeployment
+from .global_opt import SmarthPlacementPolicy
+from .local_opt import LocalOptimizer
+from .multi_writer import SmarthClient
+from .pipeline import PipelineState, SmarthPipeline
+from .records import SpeedRecords, SpeedSample
+from .reporter import speed_reporter
+
+__all__ = [
+    "SmarthDeployment",
+    "SmarthClient",
+    "SmarthPipeline",
+    "PipelineState",
+    "SmarthPlacementPolicy",
+    "LocalOptimizer",
+    "SpeedRecords",
+    "SpeedSample",
+    "speed_reporter",
+]

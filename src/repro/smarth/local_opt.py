@@ -1,0 +1,61 @@
+"""Algorithm 2 — the client's local optimization.
+
+Before opening a pipeline the client sorts the namenode-proposed targets
+by its *local* speed records (descending), then with probability
+``1 - threshold`` (threshold = 0.8 in the paper) swaps the first datanode
+with a random other target.  The swap is the exploration step: it
+refreshes the transfer record of a datanode that was previously measured
+slow, so that a recovered node can re-enter the TopN.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .records import SpeedRecords
+
+__all__ = ["LocalOptimizer"]
+
+
+class LocalOptimizer:
+    """Sort-then-occasionally-swap target ordering (Algorithm 2)."""
+
+    def __init__(
+        self,
+        records: SpeedRecords,
+        rng: random.Random,
+        threshold: float = 0.8,
+        enabled: bool = True,
+    ):
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        self.records = records
+        self.rng = rng
+        self.threshold = threshold
+        self.enabled = enabled
+        #: Diagnostics: how many exploratory swaps have happened.
+        self.swaps = 0
+
+    def reorder(self, targets: tuple[str, ...]) -> tuple[str, ...]:
+        """Return the pipeline order the client will actually use."""
+        if not self.enabled or len(targets) < 2:
+            return tuple(targets)
+
+        # Line 2-3: sort descending by locally observed transfer speed.
+        # Unmeasured datanodes sort last (speed 0 — they have never been a
+        # first datanode for this client).
+        ordered = sorted(
+            targets,
+            key=lambda d: self.records.speed_of(d) or 0.0,
+            reverse=True,
+        )
+
+        # Lines 4-8: exploration — r > threshold swaps targets[0] with a
+        # random other pipeline position.
+        r = self.rng.random()
+        if r > self.threshold:
+            index = self.rng.randint(1, len(ordered) - 1)
+            ordered[0], ordered[index] = ordered[index], ordered[0]
+            self.swaps += 1
+
+        return tuple(ordered)

@@ -1,0 +1,416 @@
+"""The SMARTH client: asynchronous multi-pipeline upload (§III-A).
+
+Per block: request targets (Algorithm 1 on the namenode), reorder them
+locally (Algorithm 2), stream every packet to the first datanode, and on
+FNFA immediately move to the next block while up to
+``n = num_datanodes / replication`` pipelines replicate in the background.
+A datanode serves at most one of this client's live pipelines and the
+first datanode buffers one full block (§IV-C), so the client is never
+gated by the slowest replica — only by its own NIC and the first
+datanodes' bandwidth.
+
+Fault tolerance follows Algorithm 4: failed pipelines enter an error set;
+the client stops sending, recovers each one (Algorithm 3 semantics via
+:func:`repro.hdfs.client.recovery.recover_pipeline`, resending the
+un-ACKed packets), and then resumes the interrupted block.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..cluster.node import Node
+from ..hdfs.client.output_stream import (
+    DATA_QUEUE_PACKETS,
+    BlockPlan,
+    plan_file,
+    producer,
+)
+from ..hdfs.client.recovery import recover_pipeline
+from ..hdfs.client.responder import PacketResponder
+from ..hdfs.deployment import HdfsDeployment
+from ..hdfs.protocol import Packet, WriteResult
+from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store
+from .local_opt import LocalOptimizer
+from .pipeline import PipelineState, SmarthPipeline
+from .records import SpeedRecords, SpeedSample
+from .reporter import speed_reporter
+
+__all__ = ["SmarthClient"]
+
+_OK = "ok"
+_PAUSED = "paused"
+_ERROR = "error"
+
+
+class SmarthClient:
+    """Multi-pipeline write client implementing the SMARTH protocol."""
+
+    system = "smarth"
+
+    def __init__(
+        self,
+        deployment: HdfsDeployment,
+        host: Optional[Node] = None,
+        name: Optional[str] = None,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        self.network = deployment.network
+        self.config = deployment.config
+        self.node = host or deployment.cluster.client_host
+        self.name = name or self.node.name
+
+        self.records = SpeedRecords()
+        self.local_opt = LocalOptimizer(
+            self.records,
+            rng=random.Random(self.config.seed ^ 0x5A5A5A),
+            threshold=self.config.smarth.local_opt_threshold,
+            enabled=self.config.smarth.enable_local_opt,
+        )
+        self._reporter = self.env.process(
+            speed_reporter(
+                deployment.namenode,
+                self.name,
+                self.records,
+                self.config.hdfs.heartbeat_interval,
+            ),
+            name=f"reporter:{self.name}",
+        )
+
+        # Algorithm 4's error pipeline set plus its wake-up signal.
+        self._error_list: list[SmarthPipeline] = []
+        self._error_flag: Event = self.env.event()
+        self._active: set[SmarthPipeline] = set()
+        self._blacklist: set[str] = set()
+        self._recoveries = 0
+        self._max_concurrent = 0
+
+    # ------------------------------------------------------------------
+    def put(self, path: str, size: int) -> ProcessGenerator:
+        """Upload ``size`` bytes to ``path`` (returns a WriteResult)."""
+        env = self.env
+        namenode = self.deployment.namenode
+        hdfs_cfg = self.config.hdfs
+        smarth_cfg = self.config.smarth
+        start = env.now
+
+        yield from namenode.create_file(self.name, path)
+
+        plans = plan_file(size, hdfs_cfg)
+        data_queue: Store = Store(env, capacity=DATA_QUEUE_PACKETS)
+        env.process(
+            producer(env, self.node, plans, data_queue), name=f"producer:{path}"
+        )
+
+        cap = smarth_cfg.pipeline_cap(
+            self.deployment.live_datanode_count(), hdfs_cfg.replication
+        )
+        slots = Resource(env, capacity=cap)
+        buffer_bytes = smarth_cfg.datanode_buffer or hdfs_cfg.block_size
+        all_pipelines: list[SmarthPipeline] = []
+
+        for plan in plans:
+            slot = slots.request()
+            yield slot
+            yield from self._drain_errors(data_queue, buffer_bytes)
+            yield from self._wait_for_headroom(data_queue, buffer_bytes)
+
+            pipeline = yield from self._open_new_pipeline(
+                path, plan, slot, buffer_bytes
+            )
+            self._active.add(pipeline)
+            all_pipelines.append(pipeline)
+            self._max_concurrent = max(self._max_concurrent, len(self._active))
+
+            # Stream the whole block to the first datanode, then wait for
+            # the FNFA before requesting the next block (§III-A step 3).
+            yield from self._stream_pipeline(pipeline, data_queue, buffer_bytes)
+            yield from self._await_fnfa(pipeline, data_queue, buffer_bytes)
+
+            pipeline.state = PipelineState.BACKGROUND
+            self._arm_watcher(pipeline)
+
+        # §III-A step 5: wait until the pipeline set is empty.
+        yield from self._drain_all(data_queue, buffer_bytes)
+
+        yield from namenode.complete_file(self.name, path)
+        if self._reporter.is_alive:
+            self._reporter.interrupt("upload finished")
+
+        return WriteResult(
+            path=path,
+            size=size,
+            start=start,
+            end=env.now,
+            n_blocks=len(plans),
+            system=self.system,
+            pipelines=[p.targets for p in all_pipelines],
+            max_concurrent_pipelines=self._max_concurrent,
+            recoveries=self._recoveries,
+        )
+
+    # ------------------------------------------------------------------
+    def _busy_datanodes(self, exclude: Optional[SmarthPipeline] = None) -> set[str]:
+        """Datanodes locked by live pipelines (§IV-C disjointness)."""
+        busy: set[str] = set()
+        for pipeline in self._active:
+            if pipeline is exclude or pipeline.state is PipelineState.DONE:
+                continue
+            busy.update(pipeline.targets)
+        return busy
+
+    def _wait_for_headroom(
+        self, data_queue: Store, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Hold back until a full-width pipeline can be placed.
+
+        Algorithm 1 recomputes ``n = num / repli`` per request; when
+        failures shrink the pool (dead nodes are blacklisted), opening a
+        degraded pipeline would silently under-replicate the block.
+        Instead wait for a live pipeline to release its datanodes.
+        """
+        replication = self.config.hdfs.replication
+        total = set(self.deployment.datanodes)
+        while self._active:
+            available = total - self._busy_datanodes() - self._blacklist
+            if len(available) >= replication:
+                return
+            live = [
+                p for p in self._active if p.state is not PipelineState.DONE
+            ]
+            if not live:
+                return
+            yield self.env.any_of([p.done for p in live] + [self._error_flag])
+            yield from self._drain_errors(data_queue, buffer_bytes)
+
+    def _open_new_pipeline(
+        self, path: str, plan: BlockPlan, slot, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """addBlock + Algorithm 2 reorder + build the receiver chain."""
+        namenode = self.deployment.namenode
+        excluded = self._busy_datanodes() | self._blacklist
+        result = yield from namenode.add_block(
+            self.name, path, plan.size, excluded=excluded
+        )
+        targets = self.local_opt.reorder(result.targets)
+        pipeline = SmarthPipeline(self.env, plan, result.block, targets, slot)
+        yield from self._build_streams(pipeline, buffer_bytes)
+        pipeline.started_at = self.env.now
+        return pipeline
+
+    def _build_streams(
+        self, pipeline: SmarthPipeline, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Open receivers + responder for the pipeline's current targets."""
+        handle = self.deployment.open_pipeline(
+            pipeline.block,
+            pipeline.targets,
+            self.node,
+            want_fnfa=not pipeline.fnfa_received,
+            buffer_bytes=buffer_bytes,
+            initial_bytes=pipeline.acked_bytes,
+        )
+        yield self.env.process(
+            self.network.connection_setup(len(pipeline.targets))
+        )
+        responder = PacketResponder(self.env, pipeline.block, handle.ack_in)
+        pipeline.bind(handle, responder)
+
+    # ------------------------------------------------------------------
+    def _stream_pipeline(
+        self, pipeline: SmarthPipeline, data_queue: Store, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Send every pending packet of the pipeline's block."""
+        while True:
+            status, failed = yield from self._send_seqs(pipeline, data_queue)
+            if status == _OK:
+                pipeline.fully_streamed = True
+                return
+            if status == _ERROR:
+                self._enqueue_error(pipeline, failed)
+            yield from self._drain_errors(data_queue, buffer_bytes)
+
+    def _send_seqs(
+        self, pipeline: SmarthPipeline, data_queue: Store, watch_flag: bool = True
+    ) -> ProcessGenerator:
+        """One transmission attempt.  Returns (status, failed_datanode).
+
+        ``watch_flag=False`` is used when resending *inside* an error
+        drain — the flag is already triggered for the failure being
+        serviced and must not pause the resend.
+        """
+        env = self.env
+        handle = pipeline.handle
+
+        for seq in pipeline.pending_seqs():
+            packet = pipeline.produced.get(seq)
+            if packet is None:
+                chunk = yield data_queue.get()
+                packet = Packet(
+                    block=pipeline.block,
+                    seq=chunk.seq,
+                    size=chunk.size,
+                    is_last=chunk.is_last_in_block,
+                )
+                pipeline.produced[seq] = packet
+
+            send = env.process(
+                self._send_packet(pipeline, packet), name=f"send:{seq}"
+            )
+            if watch_flag:
+                yield send | handle.error | self._error_flag
+            else:
+                yield send | handle.error
+
+            if handle.error.triggered:
+                if send.is_alive:
+                    send.interrupt("pipeline failed")
+                return _ERROR, handle.error.value
+            if watch_flag and self._error_flag.triggered:
+                # Algorithm 4 line 1: another pipeline failed — stop the
+                # current block transfer (after the in-flight packet).
+                if send.is_alive:
+                    yield send
+                pipeline.note_sent(seq)
+                pipeline.responder.packet_sent(packet)
+                return _PAUSED, None
+            pipeline.note_sent(seq)
+            pipeline.responder.packet_sent(packet)
+        return _OK, None
+
+    def _send_packet(
+        self, pipeline: SmarthPipeline, packet: Packet
+    ) -> ProcessGenerator:
+        """Deliver one packet to the first datanode (reserve + transfer)."""
+        yield from pipeline.handle.receivers[0].send_in(self.node, packet)
+
+    def _await_fnfa(
+        self, pipeline: SmarthPipeline, data_queue: Store, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Block until the first datanode confirms the whole block."""
+        env = self.env
+        while not pipeline.fnfa_received:
+            handle = pipeline.handle
+            if handle.fnfa_in is None:
+                return  # FNFA already consumed on a previous handle
+            fnfa_get = handle.fnfa_in.get()
+            yield fnfa_get | handle.error | self._error_flag
+
+            if fnfa_get.triggered:
+                fnfa = fnfa_get.value
+                pipeline.fnfa_received = True
+                if not pipeline.skip_speed_record:
+                    self.records.record(
+                        SpeedSample(
+                            datanode=fnfa.datanode,
+                            nbytes=pipeline.plan.size,
+                            duration=fnfa.finished_at - pipeline.started_at,
+                            at=env.now,
+                        )
+                    )
+                return
+            if handle.error.triggered:
+                self._enqueue_error(pipeline, handle.error.value)
+            yield from self._drain_errors(data_queue, buffer_bytes)
+
+    # ------------------------------------------------------------------
+    def _arm_watcher(self, pipeline: SmarthPipeline) -> None:
+        """Watch a background pipeline for completion or failure."""
+        pipeline.watcher = self.env.process(
+            self._watch(pipeline), name=f"watch:b{pipeline.block.block_id}"
+        )
+
+    def _watch(self, pipeline: SmarthPipeline) -> ProcessGenerator:
+        responder = pipeline.responder
+        handle = pipeline.handle
+        try:
+            yield responder.block_done | handle.error
+            if responder.block_done.triggered:
+                self._complete(pipeline)
+            else:
+                self._enqueue_error(pipeline, handle.error.value)
+        except Interrupt:
+            return
+
+    def _complete(self, pipeline: SmarthPipeline) -> None:
+        """All ACKs in: free the datanodes and the pipeline slot."""
+        pipeline.mark_done()
+        self._active.discard(pipeline)
+        pipeline.slot.cancel()
+
+    def _enqueue_error(self, pipeline: SmarthPipeline, failed: str) -> None:
+        """Algorithm 4: add the pipeline to the error pipeline set."""
+        if failed:
+            self._blacklist.add(failed)
+        if pipeline not in self._error_list:
+            self._error_list.append(pipeline)
+        if not self._error_flag.triggered:
+            self._error_flag.succeed()
+
+    def _drain_errors(
+        self, data_queue: Store, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Algorithm 4 lines 3-6: recover every pipeline in the error set."""
+        while self._error_list:
+            pipeline = self._error_list.pop(0)
+            if pipeline.state is PipelineState.DONE:
+                continue
+            self._recoveries += 1
+            failed = (
+                pipeline.handle.error.value
+                if pipeline.handle.error.triggered
+                else None
+            )
+            pipeline.teardown()
+
+            excluded = self._busy_datanodes(exclude=pipeline) | self._blacklist
+            new_block, new_targets = yield from recover_pipeline(
+                self.deployment,
+                self.name,
+                pipeline.block,
+                pipeline.targets,
+                failed or "",
+                pipeline.acked_bytes,
+                excluded,
+            )
+            pipeline.rebind_block(new_block, new_targets)
+            yield from self._build_streams(pipeline, buffer_bytes)
+
+            if pipeline.fully_streamed:
+                # The client had finished streaming this block before the
+                # failure: resend the un-ACKed tail now (Algorithm 4 line
+                # 7, "start transferring the interrupted block").
+                yield from self._resend_background(pipeline, data_queue)
+                if (
+                    pipeline.state is PipelineState.BACKGROUND
+                    and pipeline.state is not PipelineState.DONE
+                ):
+                    self._arm_watcher(pipeline)
+            # Not-yet-fully-streamed pipelines are resent by their
+            # _stream_pipeline loop after this drain returns.
+        # Reset the wake-up flag for the next failure.
+        self._error_flag = self.env.event()
+
+    def _resend_background(
+        self, pipeline: SmarthPipeline, data_queue: Store
+    ) -> ProcessGenerator:
+        status, failed = yield from self._send_seqs(
+            pipeline, data_queue, watch_flag=False
+        )
+        if status == _ERROR:
+            # The rebuilt pipeline failed too: recurse via the set.
+            self._enqueue_error(pipeline, failed)
+
+    def _drain_all(
+        self, data_queue: Store, buffer_bytes: int
+    ) -> ProcessGenerator:
+        """Wait until every pipeline is DONE, recovering stragglers."""
+        while True:
+            yield from self._drain_errors(data_queue, buffer_bytes)
+            live = [p for p in self._active if p.state is not PipelineState.DONE]
+            if not live:
+                return
+            events = [p.done for p in live] + [self._error_flag]
+            yield self.env.any_of(events)

@@ -1,0 +1,74 @@
+"""Client-side transfer-speed records (§III-B).
+
+The SMARTH client "records the transmission speed of data blocks to all
+the first datanodes in transfer pipeline that it had communicated
+before".  We keep an exponential moving average per datanode — a single
+latest sample is noisy when block transfers overlap with background
+replication traffic — plus the raw latest sample for inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SpeedSample", "SpeedRecords"]
+
+#: EWMA weight of the newest sample.
+_ALPHA = 0.5
+
+
+@dataclass(frozen=True)
+class SpeedSample:
+    """One measured block transfer to a first datanode."""
+
+    datanode: str
+    nbytes: int
+    duration: float
+    at: float
+
+    @property
+    def rate(self) -> float:
+        return self.nbytes / self.duration if self.duration > 0 else 0.0
+
+
+class SpeedRecords:
+    """Per-first-datanode observed transfer speeds on one client."""
+
+    def __init__(self) -> None:
+        self._ewma: dict[str, float] = {}
+        self._latest: dict[str, SpeedSample] = {}
+        self._dirty = False
+
+    def record(self, sample: SpeedSample) -> None:
+        """Fold one completed block transfer into the records."""
+        if sample.duration <= 0:
+            return
+        rate = sample.rate
+        previous = self._ewma.get(sample.datanode)
+        self._ewma[sample.datanode] = (
+            rate if previous is None else _ALPHA * rate + (1 - _ALPHA) * previous
+        )
+        self._latest[sample.datanode] = sample
+        self._dirty = True
+
+    def speed_of(self, datanode: str) -> float | None:
+        """Smoothed speed in bytes/s, or None if never measured."""
+        return self._ewma.get(datanode)
+
+    def latest(self, datanode: str) -> SpeedSample | None:
+        return self._latest.get(datanode)
+
+    def known_datanodes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._ewma))
+
+    def snapshot(self) -> dict[str, float]:
+        """All smoothed speeds — the heartbeat payload (§III-B)."""
+        return dict(self._ewma)
+
+    def take_dirty(self) -> bool:
+        """True if new samples arrived since the last heartbeat."""
+        dirty, self._dirty = self._dirty, False
+        return dirty
+
+    def __len__(self) -> int:
+        return len(self._ewma)

@@ -1,0 +1,178 @@
+"""Unit helpers for bytes, bandwidth, and time.
+
+The simulator's canonical units are:
+
+* **bytes** for data sizes,
+* **bytes per second** for bandwidth and rates,
+* **seconds** for (simulated) time.
+
+The paper quotes sizes in MB/GB (binary multiples, following HDFS
+conventions: a block is 64 MiB) and bandwidth in Mbps (decimal megabits,
+following networking conventions and ``tc``).  These helpers keep the
+conversions explicit at call sites: ``mbps(216)`` or ``gigabytes(8)`` is
+much harder to get wrong than a bare ``27_000_000``.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "kilobytes",
+    "megabytes",
+    "gigabytes",
+    "mbps",
+    "gbps",
+    "to_mbps",
+    "to_megabytes",
+    "to_gigabytes",
+    "parse_size",
+    "parse_rate",
+    "fmt_size",
+    "fmt_rate",
+    "fmt_time",
+]
+
+#: One kibibyte in bytes (HDFS packet sizes are binary multiples).
+KB: int = 1024
+#: One mebibyte in bytes (HDFS block size is 64 MB = 64 * MB).
+MB: int = 1024 * 1024
+#: One gibibyte in bytes.
+GB: int = 1024 * 1024 * 1024
+
+_BITS_PER_BYTE = 8
+_DECIMAL_MEGA = 1_000_000
+_DECIMAL_GIGA = 1_000_000_000
+
+
+def kilobytes(n: float) -> int:
+    """Return *n* KiB expressed in bytes."""
+    return int(n * KB)
+
+
+def megabytes(n: float) -> int:
+    """Return *n* MiB expressed in bytes."""
+    return int(n * MB)
+
+
+def gigabytes(n: float) -> int:
+    """Return *n* GiB expressed in bytes."""
+    return int(n * GB)
+
+
+def mbps(n: float) -> float:
+    """Return *n* megabits/second expressed in bytes/second.
+
+    Network rates use decimal prefixes, matching ``tc`` and the paper's
+    Table I (e.g. a small instance's NIC is ``mbps(216)``).
+    """
+    return n * _DECIMAL_MEGA / _BITS_PER_BYTE
+
+
+def gbps(n: float) -> float:
+    """Return *n* gigabits/second expressed in bytes/second."""
+    return n * _DECIMAL_GIGA / _BITS_PER_BYTE
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes/second back to megabits/second (for reporting)."""
+    return bytes_per_second * _BITS_PER_BYTE / _DECIMAL_MEGA
+
+
+def to_megabytes(n_bytes: float) -> float:
+    """Convert bytes to MiB (for reporting)."""
+    return n_bytes / MB
+
+
+def to_gigabytes(n_bytes: float) -> float:
+    """Convert bytes to GiB (for reporting)."""
+    return n_bytes / GB
+
+
+_SIZE_SUFFIXES = {
+    "b": 1,
+    "k": KB,
+    "kb": KB,
+    "kib": KB,
+    "m": MB,
+    "mb": MB,
+    "mib": MB,
+    "g": GB,
+    "gb": GB,
+    "gib": GB,
+}
+
+_RATE_SUFFIXES = {
+    "bps": 1 / _BITS_PER_BYTE,
+    "kbps": 1_000 / _BITS_PER_BYTE,
+    "mbps": _DECIMAL_MEGA / _BITS_PER_BYTE,
+    "gbps": _DECIMAL_GIGA / _BITS_PER_BYTE,
+    "b/s": 1.0,
+    "kb/s": 1_000.0,
+    "mb/s": _DECIMAL_MEGA * 1.0,
+    "gb/s": _DECIMAL_GIGA * 1.0,
+}
+
+_NUMBER_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z/]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human size string (``"8GB"``, ``"64 MB"``, ``"64k"``) to bytes.
+
+    Bare numbers are interpreted as bytes.  Raises :class:`ValueError` for
+    unrecognized suffixes.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, suffix = float(match.group(1)), match.group(2).lower()
+    if not suffix:
+        return int(value)
+    try:
+        return int(value * _SIZE_SUFFIXES[suffix])
+    except KeyError:
+        raise ValueError(f"unknown size suffix in {text!r}") from None
+
+
+def parse_rate(text: str | int | float) -> float:
+    """Parse a rate string (``"216Mbps"``, ``"1Gbps"``, ``"100MB/s"``).
+
+    Bare numbers are interpreted as bytes/second.  Lower-case *bits* units
+    (``bps`` family) and byte units (``B/s`` family) are both accepted.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable rate: {text!r}")
+    value, suffix = float(match.group(1)), match.group(2).lower()
+    if not suffix:
+        return value
+    try:
+        return value * _RATE_SUFFIXES[suffix]
+    except KeyError:
+        raise ValueError(f"unknown rate suffix in {text!r}") from None
+
+
+def fmt_size(n_bytes: float) -> str:
+    """Render a byte count with a binary suffix, e.g. ``"8.00 GB"``."""
+    value = float(n_bytes)
+    for suffix, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.2f} {suffix}"
+    return f"{value:.0f} B"
+
+
+def fmt_rate(bytes_per_second: float) -> str:
+    """Render a rate in Mbps, matching the paper's reporting convention."""
+    return f"{to_mbps(bytes_per_second):.1f} Mbps"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration in seconds with millisecond precision."""
+    return f"{seconds:.3f} s"

@@ -1,0 +1,20 @@
+"""Workloads: scenario builders, upload drivers and parameter sweeps."""
+
+from .multi import MultiUploadOutcome, run_concurrent_uploads
+from .scenarios import Scenario, contention, heterogeneous, two_rack
+from .sweep import size_sweep, sweep
+from .upload import UploadOutcome, compare, run_upload
+
+__all__ = [
+    "Scenario",
+    "two_rack",
+    "contention",
+    "heterogeneous",
+    "run_upload",
+    "compare",
+    "UploadOutcome",
+    "run_concurrent_uploads",
+    "MultiUploadOutcome",
+    "sweep",
+    "size_sweep",
+]

@@ -1,0 +1,69 @@
+"""Parameter sweeps: one :class:`ComparisonRow` per x-axis point.
+
+Every figure in the paper's evaluation is a sweep of upload-time pairs
+over some knob (file size, throttle level, slow-node count); this module
+is the single driver all of them share.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..analysis.metrics import ComparisonRow
+from ..config import SimulationConfig
+from .scenarios import Scenario
+from .upload import run_upload
+
+__all__ = ["sweep", "size_sweep"]
+
+
+def sweep(
+    scenario_for: Callable[[object], Scenario],
+    xs: Iterable[object],
+    size: int | str,
+    config: Optional[SimulationConfig] = None,
+    label_for: Optional[Callable[[object], str]] = None,
+) -> list[ComparisonRow]:
+    """Run HDFS vs SMARTH at every x; scenario rebuilt per point."""
+    rows: list[ComparisonRow] = []
+    for x in xs:
+        scenario = scenario_for(x)
+        hdfs = run_upload(scenario, "hdfs", size, config=config)
+        smarth = run_upload(scenario, "smarth", size, config=config)
+        if not (hdfs.fully_replicated and smarth.fully_replicated):
+            raise RuntimeError(
+                f"{scenario.name}: upload finished under-replicated"
+            )
+        label = label_for(x) if label_for else str(x)
+        rows.append(
+            ComparisonRow(
+                label=label,
+                hdfs_seconds=hdfs.duration,
+                smarth_seconds=smarth.duration,
+            )
+        )
+    return rows
+
+
+def size_sweep(
+    scenario: Scenario,
+    sizes: Sequence[int | str],
+    config: Optional[SimulationConfig] = None,
+) -> list[ComparisonRow]:
+    """Fixed scenario, varying file size (the Figure 5 / 13 shape)."""
+    rows: list[ComparisonRow] = []
+    for size in sizes:
+        hdfs = run_upload(scenario, "hdfs", size, config=config)
+        smarth = run_upload(scenario, "smarth", size, config=config)
+        if not (hdfs.fully_replicated and smarth.fully_replicated):
+            raise RuntimeError(
+                f"{scenario.name}: upload finished under-replicated"
+            )
+        rows.append(
+            ComparisonRow(
+                label=str(size),
+                hdfs_seconds=hdfs.duration,
+                smarth_seconds=smarth.duration,
+            )
+        )
+    return rows

@@ -1,0 +1,65 @@
+"""Unit tests for metrics and result containers."""
+
+import pytest
+
+from repro.analysis import ComparisonRow, improvement_percent, summarize_series
+from repro.analysis.metrics import throughput_mbps
+from repro.hdfs import WriteResult
+from repro.units import MB, to_mbps
+
+
+def result(duration=10.0, size=100 * MB):
+    return WriteResult(
+        path="/f", size=size, start=0.0, end=duration, n_blocks=2, system="hdfs"
+    )
+
+
+class TestImprovement:
+    def test_basic(self):
+        assert improvement_percent(300, 100) == pytest.approx(200.0)
+
+    def test_zero_smarth_invalid(self):
+        with pytest.raises(ValueError):
+            improvement_percent(1, 0)
+
+
+class TestComparisonRow:
+    def test_from_results(self):
+        row = ComparisonRow.from_results("x", result(20.0), result(10.0))
+        assert row.improvement == pytest.approx(100.0)
+
+    def test_as_dict(self):
+        row = ComparisonRow("8GB", 300.0, 150.0)
+        d = row.as_dict()
+        assert d == {
+            "label": "8GB",
+            "hdfs_s": 300.0,
+            "smarth_s": 150.0,
+            "improvement_pct": 100.0,
+        }
+
+
+class TestSeries:
+    def test_summarize(self):
+        s = summarize_series([1.0, 2.0, 3.0])
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["min"] == 1.0
+        assert s["max"] == 3.0
+        assert s["n"] == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_series([])
+
+
+class TestWriteResultMetrics:
+    def test_throughput(self):
+        r = result(duration=10.0, size=100 * MB)
+        assert r.throughput == pytest.approx(10 * MB)
+        assert throughput_mbps(r) == pytest.approx(to_mbps(10 * MB))
+
+    def test_duration(self):
+        r = WriteResult(
+            path="/f", size=1, start=5.0, end=7.5, n_blocks=1, system="hdfs"
+        )
+        assert r.duration == pytest.approx(2.5)

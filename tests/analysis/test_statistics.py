@@ -1,0 +1,91 @@
+"""Tests for seed-replication statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import SeedSummary, repeat_compare
+from repro.config import SimulationConfig
+from repro.units import KB, MB
+from repro.workloads import two_rack
+
+
+class TestSeedSummary:
+    def test_single_sample(self):
+        s = SeedSummary.from_samples([5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.ci_low == s.ci_high == 5.0
+        assert s.n == 1
+
+    def test_known_values(self):
+        s = SeedSummary.from_samples([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert s.ci_low < 2.0 < s.ci_high
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SeedSummary.from_samples([])
+
+    def test_str(self):
+        assert "n=3" in str(SeedSummary.from_samples([1.0, 2.0, 3.0]))
+
+    @given(
+        samples=st.lists(
+            st.floats(min_value=0.1, max_value=1e6), min_size=2, max_size=30
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ci_contains_mean_and_is_ordered(self, samples):
+        s = SeedSummary.from_samples(samples)
+        assert s.ci_low <= s.mean <= s.ci_high
+        assert min(samples) - 1e-9 <= s.mean <= max(samples) + 1e-9
+
+
+class TestRepeatCompare:
+    def test_replicated_comparison(self):
+        config = SimulationConfig().with_hdfs(
+            block_size=4 * MB, packet_size=256 * KB
+        )
+        result = repeat_compare(
+            two_rack("small", throttle_mbps=50),
+            32 * MB,
+            seeds=[1, 2, 3],
+            config=config,
+        )
+        assert result.hdfs.n == result.smarth.n == 3
+        assert result.hdfs.mean > result.smarth.mean
+        assert result.improvement.mean > 0
+
+    def test_significance_with_enough_seeds(self):
+        """With 8 seeds at a multi-block size the win is significant —
+        the improvement's 95% CI sits entirely above zero."""
+        config = SimulationConfig().with_hdfs(
+            block_size=4 * MB, packet_size=256 * KB
+        )
+        result = repeat_compare(
+            two_rack("small", throttle_mbps=50),
+            64 * MB,
+            seeds=list(range(1, 9)),
+            config=config,
+        )
+        assert result.smarth_wins_significantly
+        assert result.improvement.ci_low > 0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ValueError):
+            repeat_compare(two_rack("small"), MB, seeds=[])
+
+    def test_seed_variation_is_real(self):
+        """Different seeds genuinely vary placement, hence timings."""
+        config = SimulationConfig().with_hdfs(
+            block_size=4 * MB, packet_size=256 * KB
+        )
+        result = repeat_compare(
+            two_rack("small", throttle_mbps=100),
+            24 * MB,
+            seeds=[10, 20, 30, 40],
+            config=config,
+        )
+        assert result.hdfs.stdev > 0

@@ -1,0 +1,37 @@
+"""Unit tests for storage-platform presets (§VII future work support)."""
+
+import pytest
+
+from repro.cluster import SMALL, STORAGE_PRESETS, with_storage
+from repro.units import MB
+
+
+class TestPresets:
+    def test_catalog(self):
+        assert set(STORAGE_PRESETS) == {"hdd-slow", "ephemeral", "ssd", "raid0"}
+        assert STORAGE_PRESETS["ssd"] > STORAGE_PRESETS["ephemeral"]
+        assert STORAGE_PRESETS["raid0"] > STORAGE_PRESETS["ssd"]
+        assert STORAGE_PRESETS["hdd-slow"] < STORAGE_PRESETS["ephemeral"]
+
+    def test_with_storage_by_name(self):
+        ssd = with_storage(SMALL, "ssd")
+        assert ssd.disk_rate == STORAGE_PRESETS["ssd"]
+        assert ssd.network_rate == SMALL.network_rate  # NIC untouched
+        assert ssd.name == "small+ssd"
+        assert SMALL.disk_rate == 100 * MB  # original unchanged
+
+    def test_with_storage_by_rate(self):
+        custom = with_storage(SMALL, 250 * MB)
+        assert custom.disk_rate == 250 * MB
+        assert "250" in custom.name
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown storage preset"):
+            with_storage(SMALL, "floppy")
+
+    def test_hdd_slow_is_slower_than_every_nic(self):
+        # The preset exists precisely to make the disk the bottleneck.
+        from repro.cluster import INSTANCE_CATALOG
+
+        for itype in INSTANCE_CATALOG.values():
+            assert STORAGE_PRESETS["hdd-slow"] < itype.network_rate

@@ -1,0 +1,68 @@
+"""Unit tests for result formatting and the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, format_table
+from repro.experiments.report import render_bars
+
+
+class TestFormatTable:
+    def test_missing_cells_render_empty(self):
+        text = format_table(("a", "b"), [{"a": 1}])
+        assert text.splitlines()[2].strip().startswith("1")
+
+    def test_empty_rows(self):
+        text = format_table(("col",), [])
+        assert "col" in text
+
+
+class TestRenderBars:
+    ROWS = [
+        {"label": "50Mbps", "improvement": 143.0},
+        {"label": "100Mbps", "improvement": 77.0},
+        {"label": "150Mbps", "improvement": 38.0},
+    ]
+
+    def test_bars_scale_with_values(self):
+        chart = render_bars(self.ROWS, "improvement", width=40)
+        lines = chart.splitlines()
+        lengths = [line.count("#") for line in lines]
+        assert lengths[0] == 40  # peak takes full width
+        assert lengths[0] > lengths[1] > lengths[2] > 0
+
+    def test_values_printed(self):
+        chart = render_bars(self.ROWS, "improvement", unit="%")
+        assert "143%" in chart
+        assert "50Mbps" in chart
+
+    def test_zero_values_get_empty_bar(self):
+        chart = render_bars(
+            [{"label": "x", "v": 0.0}, {"label": "y", "v": 2.0}], "v"
+        )
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_bars([], "v")
+
+    def test_labels_aligned(self):
+        chart = render_bars(self.ROWS, "improvement")
+        positions = [line.index("|") for line in chart.splitlines()]
+        assert len(set(positions)) == 1
+
+
+class TestExperimentResultChart:
+    def test_chart_uses_last_column_by_default(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            title="t",
+            columns=("label", "hdfs_s", "improvement_pct"),
+            rows=[
+                {"label": "a", "hdfs_s": 10, "improvement_pct": 50},
+                {"label": "b", "hdfs_s": 20, "improvement_pct": 25},
+            ],
+        )
+        chart = result.chart()
+        assert "50" in chart and "25" in chart
+        explicit = result.chart(value_key="hdfs_s")
+        assert "20" in explicit

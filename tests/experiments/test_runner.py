@@ -1,0 +1,30 @@
+"""Tests for the experiment runner / markdown report generator."""
+
+import pytest
+
+from repro.experiments import run_all, to_markdown
+
+
+class TestRunner:
+    def test_subset_runs_in_order(self):
+        seen = []
+        results = run_all(
+            scale=1 / 32,
+            only=["table1", "fig13"],
+            progress=seen.append,
+        )
+        assert seen == ["table1", "fig13"]
+        assert [r.experiment_id for r in results] == ["table1", "fig13"]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_all(only=["fig99"])
+
+    def test_markdown_report_structure(self):
+        results = run_all(scale=1 / 32, only=["table1"])
+        report = to_markdown(results, scale=1 / 32)
+        assert report.startswith("# Experiment report")
+        assert "## table1" in report
+        assert "```" in report
+        assert "**Paper:**" in report
+        assert "**Measured:**" in report

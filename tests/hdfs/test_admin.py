@@ -1,0 +1,88 @@
+"""Integration tests for graceful datanode decommissioning."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import DecommissionManager, HdfsDeployment
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def build(n_datanodes=9):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(
+        block_size=2 * MB, packet_size=64 * KB, heartbeat_interval=0.5
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = HdfsDeployment(cluster, enable_replication_monitor=False)
+    return env, deployment
+
+
+def upload(env, deployment, size=8 * MB, path="/f"):
+    client = deployment.client()
+    result = env.run(until=env.process(client.put(path, size)))
+    env.run(until=env.now + 1)
+    return result
+
+
+class TestDecommission:
+    def test_drain_preserves_replication(self):
+        env, deployment = build()
+        upload(env, deployment)
+        nn = deployment.namenode
+        victim = nn.blocks.locations(nn.namespace.get("/f").blocks[0].block_id)[0]
+        had_blocks = len(nn.blocks.blocks_on(victim))
+        assert had_blocks > 0
+
+        admin = DecommissionManager(deployment)
+        copies = env.run(until=env.process(admin.decommission(victim)))
+        assert copies == had_blocks
+        # Every block still has `replication` live copies off the node.
+        for block in nn.namespace.get("/f").blocks:
+            elsewhere = [
+                d for d in nn.blocks.locations(block.block_id) if d != victim
+            ]
+            assert len(elsewhere) >= 3
+        assert nn.datanodes.descriptor(victim).decommissioned
+
+    def test_empty_node_decommissions_instantly(self):
+        env, deployment = build()
+        upload(env, deployment, size=2 * MB)
+        nn = deployment.namenode
+        block = nn.namespace.get("/f").blocks[0]
+        holders = set(nn.blocks.locations(block.block_id))
+        idle = next(d for d in deployment.datanodes if d not in holders)
+        admin = DecommissionManager(deployment)
+        copies = env.run(until=env.process(admin.decommission(idle)))
+        assert copies == 0
+        assert nn.datanodes.descriptor(idle).decommissioned
+
+    def test_decommissioning_node_excluded_from_new_pipelines(self):
+        env, deployment = build()
+        nn = deployment.namenode
+        nn.datanodes.start_decommission("dn0")
+        result = upload(env, deployment, size=8 * MB)
+        for pipeline in result.pipelines:
+            assert "dn0" not in pipeline
+
+    def test_decommissioned_node_safe_to_kill(self):
+        """The whole point: powering the node off loses no data."""
+        env, deployment = build()
+        upload(env, deployment)
+        nn = deployment.namenode
+        victim = nn.blocks.locations(nn.namespace.get("/f").blocks[0].block_id)[0]
+        admin = DecommissionManager(deployment)
+        env.run(until=env.process(admin.decommission(victim)))
+        deployment.datanode(victim).kill()
+        nn.blocks.remove_datanode(victim)
+        assert nn.file_fully_replicated("/f")
+
+    def test_drain_fails_when_cluster_too_small(self):
+        env, deployment = build(n_datanodes=3)
+        upload(env, deployment, size=2 * MB)
+        nn = deployment.namenode
+        victim = nn.blocks.locations(nn.namespace.get("/f").blocks[0].block_id)[0]
+        admin = DecommissionManager(deployment)
+        with pytest.raises(RuntimeError, match="no target"):
+            env.run(until=env.process(admin.decommission(victim)))

@@ -1,0 +1,89 @@
+"""Integration tests for the HDFS balancer."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import Balancer, HdfsDeployment
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def build(smarth=False, n_datanodes=9):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = (
+        SmarthDeployment(cluster, enable_replication_monitor=False)
+        if smarth
+        else HdfsDeployment(cluster, enable_replication_monitor=False)
+    )
+    return env, deployment
+
+
+def upload_files(env, deployment, n_files=4, size=4 * MB):
+    client = deployment.client()
+    for i in range(n_files):
+        env.run(until=env.process(client.put(f"/f{i}", size)))
+    env.run(until=env.now + 1)
+
+
+class TestBalancer:
+    def test_reduces_spread(self):
+        env, deployment = build()
+        upload_files(env, deployment)
+        balancer = Balancer(deployment, threshold_blocks=1)
+        before = balancer.spread()
+        report = env.run(until=env.process(balancer.run()))
+        assert report.initial_spread == before
+        assert report.final_spread <= max(1, before)
+        assert report.final_spread <= report.initial_spread
+
+    def test_preserves_replication(self):
+        env, deployment = build()
+        upload_files(env, deployment)
+        balancer = Balancer(deployment, threshold_blocks=1)
+        env.run(until=env.process(balancer.run()))
+        nn = deployment.namenode
+        for i in range(4):
+            assert nn.file_fully_replicated(f"/f{i}")
+
+    def test_never_colocates_replicas(self):
+        env, deployment = build()
+        upload_files(env, deployment)
+        balancer = Balancer(deployment, threshold_blocks=1)
+        env.run(until=env.process(balancer.run()))
+        nn = deployment.namenode
+        for i in range(4):
+            for block in nn.namespace.get(f"/f{i}").blocks:
+                locations = nn.blocks.locations(block.block_id)
+                assert len(set(locations)) == len(locations)
+
+    def test_balanced_cluster_is_noop(self):
+        env, deployment = build()
+        upload_files(env, deployment, n_files=1, size=MB)
+        balancer = Balancer(deployment, threshold_blocks=9)
+        report = env.run(until=env.process(balancer.run()))
+        assert report.n_moves == 0
+
+    def test_smarth_skew_gets_balanced(self):
+        """SMARTH's speed-biased placement creates skew the balancer
+        removes."""
+        env, deployment = build(smarth=True)
+        upload_files(env, deployment, n_files=6)
+        balancer = Balancer(deployment, threshold_blocks=1)
+        report = env.run(until=env.process(balancer.run()))
+        assert report.final_spread <= 1 or report.final_spread <= report.initial_spread
+
+    def test_threshold_validation(self):
+        env, deployment = build()
+        with pytest.raises(ValueError):
+            Balancer(deployment, threshold_blocks=0)
+
+    def test_max_moves_bounds_work(self):
+        env, deployment = build()
+        upload_files(env, deployment)
+        balancer = Balancer(deployment, threshold_blocks=1, max_moves=1)
+        report = env.run(until=env.process(balancer.run()))
+        assert report.n_moves <= 1

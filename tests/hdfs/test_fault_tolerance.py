@@ -1,0 +1,159 @@
+"""Integration tests for Algorithm 3: baseline pipeline fault recovery."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsClient, HdfsDeployment
+from repro.hdfs.client import RecoveryFailed
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def build(n_datanodes=9, replication=3):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(
+        block_size=2 * MB, packet_size=64 * KB, replication=replication
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = HdfsDeployment(cluster)
+    return env, deployment
+
+
+def kill_at(env, deployment, name, at):
+    def killer(env):
+        yield env.timeout(at)
+        deployment.datanode(name).kill()
+
+    env.process(killer(env))
+
+
+def kill_pipeline_member_at(env, deployment, client, at, member_index=0):
+    """Kill whichever datanode is serving as pipeline member N at time `at`."""
+    victims = []
+
+    def killer(env):
+        yield env.timeout(at)
+        # Find a datanode with an active receiver.
+        active = [
+            d
+            for d in deployment.datanodes.values()
+            if d.active_receivers > 0 and d.node.alive
+        ]
+        if active:
+            victim = active[min(member_index, len(active) - 1)]
+            victims.append(victim.name)
+            victim.kill()
+
+    env.process(killer(env))
+    return victims
+
+
+class TestRecovery:
+    def test_upload_survives_single_failure(self):
+        env, deployment = build()
+        client = HdfsClient(deployment)
+        victims = kill_pipeline_member_at(env, deployment, client, at=0.05)
+        result = env.run(until=env.process(client.put("/f", 8 * MB)))
+        assert victims, "the killer found no active datanode to kill"
+        assert result.recoveries >= 1
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_failed_node_not_in_final_locations(self):
+        env, deployment = build()
+        client = HdfsClient(deployment)
+        victims = kill_pipeline_member_at(env, deployment, client, at=0.05)
+        env.run(until=env.process(client.put("/f", 8 * MB)))
+        assert victims
+        nn = deployment.namenode
+        for block in nn.namespace.get("/f").blocks:
+            assert victims[0] not in nn.blocks.locations(block.block_id)
+
+    def test_all_replicas_full_size_after_recovery(self):
+        env, deployment = build()
+        client = HdfsClient(deployment)
+        victims = kill_pipeline_member_at(env, deployment, client, at=0.08)
+        env.run(until=env.process(client.put("/f", 6 * MB)))
+        assert victims
+        nn = deployment.namenode
+        for block in nn.namespace.get("/f").blocks:
+            info = nn.blocks.info(block.block_id)
+            finalized = [r for r in info.replicas.values() if r.finalized]
+            assert len(finalized) >= 3
+            for replica in finalized:
+                assert replica.bytes_confirmed == block.size
+
+    def test_recovery_is_slower_than_clean_run(self):
+        env_clean, dep_clean = build()
+        clean = env_clean.run(
+            until=env_clean.process(HdfsClient(dep_clean).put("/f", 8 * MB))
+        )
+        env_faulty, dep_faulty = build()
+        client = HdfsClient(dep_faulty)
+        kill_pipeline_member_at(env_faulty, dep_faulty, client, at=0.05)
+        faulty = env_faulty.run(until=env_faulty.process(client.put("/f", 8 * MB)))
+        assert faulty.duration > clean.duration
+
+    def test_two_failures_same_upload(self):
+        env, deployment = build()
+        client = HdfsClient(deployment)
+        v1 = kill_pipeline_member_at(env, deployment, client, at=0.05)
+        v2 = kill_pipeline_member_at(env, deployment, client, at=0.30)
+        result = env.run(until=env.process(client.put("/f", 10 * MB)))
+        assert v1 and v2
+        assert result.recoveries >= 2
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_generation_bumped_on_recovery(self):
+        env, deployment = build()
+        client = HdfsClient(deployment)
+        kill_pipeline_member_at(env, deployment, client, at=0.05)
+        env.run(until=env.process(client.put("/f", 4 * MB)))
+        nn = deployment.namenode
+        generations = [b.generation for b in nn.namespace.get("/f").blocks]
+        assert max(generations) >= 1
+
+    def test_replication_degrades_when_cluster_exhausted(self):
+        """With exactly `replication` datanodes and one dead, recovery
+        proceeds with a shorter pipeline rather than failing."""
+        env, deployment = build(n_datanodes=3)
+        client = HdfsClient(deployment)
+        victims = kill_pipeline_member_at(env, deployment, client, at=0.05)
+        result = env.run(until=env.process(client.put("/f", 4 * MB)))
+        assert victims
+        assert result.recoveries >= 1
+        nn = deployment.namenode
+        for block in nn.namespace.get("/f").blocks:
+            assert nn.blocks.replication_of(block.block_id) >= 2
+
+    def test_unrecoverable_when_all_pipeline_nodes_die(self):
+        env, deployment = build(n_datanodes=3, replication=3)
+
+        def killer(env):
+            yield env.timeout(0.05)
+            for name in list(deployment.datanodes):
+                deployment.datanode(name).kill()
+
+        env.process(killer(env))
+        client = HdfsClient(deployment)
+        with pytest.raises(RecoveryFailed):
+            env.run(until=env.process(client.put("/f", 4 * MB)))
+
+
+class TestFaultSignals:
+    def test_kill_before_upload_excludes_node(self):
+        env, deployment = build()
+        deployment.datanode("dn0").kill()
+        # Wait for the namenode to notice.
+        env.run(until=deployment.namenode.datanodes.dead_after * 2 + 5)
+        client = HdfsClient(deployment)
+        result = env.run(until=env.process(client.put("/f", 6 * MB)))
+        for pipeline in result.pipelines:
+            assert "dn0" not in pipeline
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_killed_datanode_stops_heartbeating(self):
+        env, deployment = build()
+        deployment.datanode("dn1").kill()
+        env.run(until=deployment.namenode.datanodes.dead_after * 3)
+        assert "dn1" not in deployment.namenode.datanodes.live_datanodes()

@@ -1,0 +1,62 @@
+"""Regression: the replication monitor must not fight a decommission.
+
+A decommissioning datanode is unschedulable but *alive*: its replicas
+still exist and serve as copy sources.  The monitor's dead-node sweep
+must leave them in the block map (it once keyed off schedulability and
+silently dropped them).
+"""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import DecommissionManager, HdfsDeployment
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def test_decommissioning_replicas_survive_monitor_sweeps():
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(
+        block_size=2 * MB, packet_size=64 * KB, heartbeat_interval=0.5
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = HdfsDeployment(cluster)  # monitor ON
+    client = deployment.client()
+    env.run(until=env.process(client.put("/f", 6 * MB)))
+    env.run(until=env.now + 1)
+
+    nn = deployment.namenode
+    victim = nn.blocks.locations(nn.namespace.get("/f").blocks[0].block_id)[0]
+    held_before = set(nn.blocks.blocks_on(victim))
+    nn.datanodes.start_decommission(victim)
+
+    # Several monitor sweeps pass while the node is decommissioning.
+    env.run(until=env.now + 10)
+    assert set(nn.blocks.blocks_on(victim)) == held_before
+    # And the monitor performed no bogus healing for this node's blocks.
+    healed_blocks = {b for b, _, _ in deployment.replication_monitor.completed}
+    assert not healed_blocks & held_before
+
+
+def test_decommission_completes_with_monitor_running():
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(
+        block_size=2 * MB, packet_size=64 * KB, heartbeat_interval=0.5
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = HdfsDeployment(cluster)  # monitor ON
+    client = deployment.client()
+    env.run(until=env.process(client.put("/f", 6 * MB)))
+    env.run(until=env.now + 1)
+
+    nn = deployment.namenode
+    victim = nn.blocks.locations(nn.namespace.get("/f").blocks[0].block_id)[0]
+    admin = DecommissionManager(deployment)
+    env.run(until=env.process(admin.decommission(victim)))
+    assert nn.datanodes.descriptor(victim).decommissioned
+    for block in nn.namespace.get("/f").blocks:
+        elsewhere = [
+            d for d in nn.blocks.locations(block.block_id) if d != victim
+        ]
+        assert len(elsewhere) >= 3

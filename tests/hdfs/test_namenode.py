@@ -1,0 +1,161 @@
+"""Unit tests for namenode RPCs and the speed registry."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import (
+    FileAlreadyExists,
+    HdfsDeployment,
+    NoDatanodesAvailable,
+    SpeedRegistry,
+)
+from repro.sim import Environment
+from repro.units import MB
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def deployment(env):
+    cfg = SimulationConfig().with_hdfs(block_size=MB, packet_size=64 * 1024)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=6, config=cfg)
+    return HdfsDeployment(cluster)
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestClientRpcs:
+    def test_create_charges_rpc_latency(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        assert env.now == pytest.approx(nn.config.namenode_rpc_latency)
+        assert nn.namespace.exists("/f")
+
+    def test_create_duplicate_raises(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        with pytest.raises(FileAlreadyExists):
+            run(env, nn.create_file("client", "/f"))
+
+    def test_add_block_allocates_and_places(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        assert len(bt.targets) == 3
+        assert bt.block.size == MB
+        assert nn.blocks.blocks_on(bt.targets[0]) == (bt.block.block_id,)
+        assert nn.namespace.get("/f").blocks[0] is bt.block
+
+    def test_add_block_respects_exclusions(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        excluded = {"dn0", "dn1", "dn2"}
+        bt = run(env, nn.add_block("client", "/f", MB, excluded=excluded))
+        assert not excluded & set(bt.targets)
+
+    def test_complete_commits_blocks(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        run(env, nn.complete_file("client", "/f"))
+        from repro.hdfs import BlockState
+
+        assert nn.blocks.info(bt.block.block_id).state is BlockState.COMPLETE
+
+    def test_get_additional_datanode_avoids_existing(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        extra = run(
+            env,
+            nn.get_additional_datanode(
+                "client", bt.block, existing=bt.targets, excluded={"dn5"}
+            ),
+        )
+        assert extra not in bt.targets
+        assert extra != "dn5"
+
+    def test_get_additional_datanode_exhausted(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        everyone = set(nn.datanodes.all_names())
+        with pytest.raises(NoDatanodesAvailable):
+            run(
+                env,
+                nn.get_additional_datanode(
+                    "client", bt.block, existing=everyone
+                ),
+            )
+
+    def test_bump_generation_updates_namespace(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        new_block = run(env, nn.bump_generation(bt.block))
+        assert new_block.generation == 1
+        assert nn.namespace.get("/f").blocks[0].generation == 1
+
+    def test_client_heartbeat_updates_speeds(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.client_heartbeat("client", {"dn0": 1e6, "dn1": 2e6}))
+        assert nn.speeds.records_for("client") == {"dn0": 1e6, "dn1": 2e6}
+
+
+class TestDatanodeLiaison:
+    def test_registration_via_deployment(self, deployment):
+        assert deployment.namenode.datanodes.all_names() == tuple(
+            sorted(f"dn{i}" for i in range(6))
+        )
+
+    def test_heartbeats_keep_nodes_alive(self, env, deployment):
+        env.run(until=60)
+        assert len(deployment.namenode.datanodes.live_datanodes()) == 6
+
+    def test_dead_datanode_expires(self, env, deployment):
+        deployment.datanode("dn0").kill()
+        dead_after = deployment.namenode.datanodes.dead_after
+        env.run(until=dead_after * 3 + 10)
+        assert "dn0" not in deployment.namenode.datanodes.live_datanodes()
+
+    def test_block_received_updates_manager(self, env, deployment):
+        nn = deployment.namenode
+        run(env, nn.create_file("client", "/f"))
+        bt = run(env, nn.add_block("client", "/f", MB))
+        nn.block_received(bt.block.block_id, bt.targets[0], MB)
+        assert nn.replication_of(bt.block.block_id) == 1
+
+
+class TestSpeedRegistry:
+    def test_top_n_orders_by_speed(self):
+        reg = SpeedRegistry()
+        reg.update("c", {"dn0": 10.0, "dn1": 30.0, "dn2": 20.0})
+        assert reg.top_n("c", 2) == ["dn1", "dn2"]
+
+    def test_top_n_restricted_pool(self):
+        reg = SpeedRegistry()
+        reg.update("c", {"dn0": 10.0, "dn1": 30.0, "dn2": 20.0})
+        assert reg.top_n("c", 2, among=["dn0", "dn2"]) == ["dn2", "dn0"]
+
+    def test_updates_overwrite(self):
+        reg = SpeedRegistry()
+        reg.update("c", {"dn0": 10.0})
+        reg.update("c", {"dn0": 99.0})
+        assert reg.records_for("c")["dn0"] == 99.0
+
+    def test_has_records(self):
+        reg = SpeedRegistry()
+        assert not reg.has_records("c")
+        reg.update("c", {"dn0": 1.0})
+        assert reg.has_records("c")
+
+    def test_clients_isolated(self):
+        reg = SpeedRegistry()
+        reg.update("c1", {"dn0": 1.0})
+        assert reg.records_for("c2") == {}

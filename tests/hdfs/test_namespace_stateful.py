@@ -1,0 +1,84 @@
+"""Stateful property test for the namespace: leases and lifecycle."""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.hdfs import (
+    FileAlreadyExists,
+    FileState,
+    LeaseConflict,
+    Namespace,
+)
+
+PATHS = [f"/f{i}" for i in range(4)]
+CLIENTS = ["c0", "c1"]
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.namespace = Namespace()
+        #: Shadow model: path -> (owner, complete?).
+        self.model: dict[str, tuple[str, bool]] = {}
+
+    @rule(path=st.sampled_from(PATHS), client=st.sampled_from(CLIENTS))
+    def create(self, path, client):
+        if path in self.model:
+            try:
+                self.namespace.create(path, client)
+                raise AssertionError("duplicate create must raise")
+            except FileAlreadyExists:
+                return
+        else:
+            self.namespace.create(path, client)
+            self.model[path] = (client, False)
+
+    @rule(path=st.sampled_from(PATHS), client=st.sampled_from(CLIENTS))
+    def complete(self, path, client):
+        owner_ok = (
+            path in self.model
+            and self.model[path][0] == client
+            and not self.model[path][1]
+        )
+        try:
+            self.namespace.complete(path, client)
+            assert owner_ok, "complete must require an open lease"
+            self.model[path] = (client, True)
+        except LeaseConflict:
+            assert not owner_ok or path not in self.model
+        except Exception:
+            assert path not in self.model
+
+    @rule(path=st.sampled_from(PATHS), client=st.sampled_from(CLIENTS))
+    def check_lease(self, path, client):
+        holds = (
+            path in self.model
+            and self.model[path][0] == client
+            and not self.model[path][1]
+        )
+        try:
+            self.namespace.check_lease(path, client)
+            assert holds
+        except LeaseConflict:
+            assert not holds
+        except Exception:
+            assert path not in self.model
+
+    @invariant()
+    def states_match_model(self):
+        for path, (owner, complete) in self.model.items():
+            inode = self.namespace.get(path)
+            assert inode.client == owner
+            expected = FileState.COMPLETE if complete else FileState.UNDER_CONSTRUCTION
+            assert inode.state is expected
+
+    @invariant()
+    def listing_matches_model(self):
+        assert set(self.namespace.files()) == set(self.model)
+
+
+TestNamespaceStateful = NamespaceMachine.TestCase
+TestNamespaceStateful.settings = settings(
+    max_examples=80, stateful_step_count=30, deadline=None
+)

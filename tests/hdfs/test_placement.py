@@ -1,0 +1,127 @@
+"""Unit and property tests for the default rack-aware placement policy."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HdfsConfig
+from repro.hdfs import DefaultPlacementPolicy, NoDatanodesAvailable
+from repro.hdfs.datanode_manager import DatanodeManager
+from repro.net import Topology
+from repro.sim import Environment
+
+
+def make_policy(rack_map, seed=1, dead=()):
+    env = Environment()
+    topo = Topology.from_rack_map(rack_map)
+    manager = DatanodeManager(env, HdfsConfig())
+    for rack, hosts in rack_map.items():
+        for host in hosts:
+            manager.register(host, rack)
+    for name in dead:
+        manager.mark_dead(name)
+    return DefaultPlacementPolicy(topo, manager, random.Random(seed))
+
+
+TWO_RACKS = {
+    "rack0": ["dn0", "dn2", "dn4", "dn6", "dn8"],
+    "rack1": ["dn1", "dn3", "dn5", "dn7"],
+}
+
+
+class TestInvariants:
+    def test_targets_distinct(self):
+        policy = make_policy(TWO_RACKS)
+        for _ in range(50):
+            targets = policy.choose_targets("client", 3)
+            assert len(set(targets)) == 3
+
+    def test_second_replica_off_rack(self):
+        policy = make_policy(TWO_RACKS)
+        for _ in range(50):
+            t = policy.choose_targets("client", 3)
+            assert policy.topology.rack_of(t[0]) != policy.topology.rack_of(t[1])
+
+    def test_third_replica_same_rack_as_second(self):
+        policy = make_policy(TWO_RACKS)
+        for _ in range(50):
+            t = policy.choose_targets("client", 3)
+            assert policy.topology.rack_of(t[1]) == policy.topology.rack_of(t[2])
+
+    def test_client_datanode_gets_first_replica(self):
+        policy = make_policy(TWO_RACKS)
+        t = policy.choose_targets("dn4", 3)
+        assert t[0] == "dn4"
+
+    def test_excluded_nodes_never_chosen(self):
+        policy = make_policy(TWO_RACKS)
+        excluded = {"dn0", "dn1", "dn2"}
+        for _ in range(50):
+            t = policy.choose_targets("client", 3, excluded=excluded)
+            assert not excluded & set(t)
+
+    def test_dead_nodes_never_chosen(self):
+        policy = make_policy(TWO_RACKS, dead=("dn3", "dn5", "dn7"))
+        for _ in range(50):
+            t = policy.choose_targets("client", 3)
+            assert not {"dn3", "dn5", "dn7"} & set(t)
+
+    def test_insufficient_datanodes_degrades(self):
+        """Hadoop's chooseTarget places on fewer nodes when the cluster
+        cannot satisfy the replication factor."""
+        policy = make_policy({"rack0": ["dn0", "dn1"]})
+        targets = policy.choose_targets("client", 3)
+        assert sorted(targets) == ["dn0", "dn1"]
+
+    def test_no_datanodes_raises(self):
+        policy = make_policy({"rack0": ["dn0"]}, dead=("dn0",))
+        with pytest.raises(NoDatanodesAvailable):
+            policy.choose_targets("client", 3)
+
+    def test_invalid_replication(self):
+        policy = make_policy(TWO_RACKS)
+        with pytest.raises(ValueError):
+            policy.choose_targets("client", 0)
+
+    def test_single_rack_fallback(self):
+        policy = make_policy({"rack0": ["dn0", "dn1", "dn2", "dn3"]})
+        t = policy.choose_targets("client", 3)
+        assert len(set(t)) == 3  # fell back to same-rack placement
+
+    def test_replication_beyond_three(self):
+        policy = make_policy(TWO_RACKS)
+        t = policy.choose_targets("client", 5)
+        assert len(set(t)) == 5
+
+    def test_determinism_per_seed(self):
+        a = make_policy(TWO_RACKS, seed=42)
+        b = make_policy(TWO_RACKS, seed=42)
+        seq_a = [a.choose_targets("client", 3) for _ in range(10)]
+        seq_b = [b.choose_targets("client", 3) for _ in range(10)]
+        assert seq_a == seq_b
+
+
+@given(
+    n_r0=st.integers(min_value=1, max_value=12),
+    n_r1=st.integers(min_value=1, max_value=12),
+    repli=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=200, deadline=None)
+def test_placement_properties(n_r0, n_r1, repli, seed):
+    """For any cluster shape: targets are distinct live nodes, and when both
+    racks have nodes and replication >= 2, replicas span >= 2 racks."""
+    rack_map = {
+        "rack0": [f"a{i}" for i in range(n_r0)],
+        "rack1": [f"b{i}" for i in range(n_r1)],
+    }
+    policy = make_policy(rack_map, seed=seed)
+    total = n_r0 + n_r1
+    targets = policy.choose_targets("client", repli)
+    expected = min(repli, total)
+    assert len(set(targets)) == len(targets) == expected
+    racks = {policy.topology.rack_of(t) for t in targets}
+    if expected >= 2 and n_r0 >= 1 and n_r1 >= 1:
+        assert len(racks) >= 2

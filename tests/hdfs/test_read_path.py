@@ -1,0 +1,122 @@
+"""Integration tests for the HDFS read path (write-then-read round trips)."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import BlockUnavailable, HdfsClient, HdfsDeployment, HdfsReader
+from repro.hdfs.protocol import FileNotFound
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB, mbps
+
+
+def build(smarth=False, n_datanodes=9):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = SmarthDeployment(cluster) if smarth else HdfsDeployment(cluster)
+    return env, deployment
+
+
+def write_then_read(env, deployment, size, path="/f"):
+    client = deployment.client()
+    env.run(until=env.process(client.put(path, size)))
+    reader = HdfsReader(deployment)
+    return env.run(until=env.process(reader.get(path)))
+
+
+class TestRoundTrip:
+    def test_read_whole_file(self):
+        env, deployment = build()
+        result = write_then_read(env, deployment, 5 * MB)
+        assert result.size == 5 * MB
+        assert len(result.sources) == 3  # 2+2+1 MB blocks
+        assert result.duration > 0
+
+    def test_read_smarth_written_file(self):
+        env, deployment = build(smarth=True)
+        result = write_then_read(env, deployment, 6 * MB)
+        assert result.size == 6 * MB
+        assert len(result.sources) == 3
+
+    def test_sources_hold_replicas(self):
+        env, deployment = build()
+        result = write_then_read(env, deployment, 4 * MB)
+        nn = deployment.namenode
+        for block_id, source in result.sources:
+            assert source in nn.blocks.locations(block_id)
+
+    def test_prefers_near_replicas(self):
+        """Reads come from the client's rack when a replica lives there."""
+        env, deployment = build()
+        result = write_then_read(env, deployment, 8 * MB)
+        topo = deployment.network.topology
+        nn = deployment.namenode
+        for block_id, source in result.sources:
+            local_replicas = [
+                dn
+                for dn in nn.blocks.locations(block_id)
+                if topo.rack_of(dn) == "rack0"
+            ]
+            if local_replicas:
+                assert topo.rack_of(source) == "rack0"
+
+    def test_read_throughput_bounded_by_nic(self):
+        env, deployment = build()
+        result = write_then_read(env, deployment, 10 * MB)
+        assert result.throughput < mbps(216)
+        assert result.throughput > mbps(216) * 0.3
+
+    def test_missing_file_raises(self):
+        env, deployment = build()
+        reader = HdfsReader(deployment)
+        with pytest.raises(FileNotFound):
+            env.run(until=env.process(reader.get("/nope")))
+
+
+class TestReadFaultTolerance:
+    def test_falls_back_to_other_replica(self):
+        env, deployment = build()
+        client = deployment.client()
+        env.run(until=env.process(client.put("/f", 4 * MB)))
+        # Kill the replica nearest to the client for every block.
+        reader = HdfsReader(deployment)
+        first_choices = {
+            block.block_id: reader._candidates(block)[0]
+            for block in deployment.namenode.namespace.get("/f").blocks
+        }
+        for victim in set(first_choices.values()):
+            deployment.datanode(victim).kill()
+        result = env.run(until=env.process(reader.get("/f")))
+        for block_id, source in result.sources:
+            assert source != first_choices[block_id]
+
+    def test_all_replicas_dead_raises(self):
+        env, deployment = build(n_datanodes=3)
+        client = deployment.client()
+        env.run(until=env.process(client.put("/f", 2 * MB)))
+        for name in list(deployment.datanodes):
+            deployment.datanode(name).kill()
+        reader = HdfsReader(deployment)
+        with pytest.raises(BlockUnavailable):
+            env.run(until=env.process(reader.get("/f")))
+
+    def test_read_after_write_with_recovery(self):
+        """A file written through a failure is still fully readable."""
+        env, deployment = build()
+
+        def killer(env):
+            yield env.timeout(0.05)
+            busy = [
+                d
+                for d in deployment.datanodes.values()
+                if d.active_receivers > 0 and d.node.alive
+            ]
+            if busy:
+                busy[0].kill()
+
+        env.process(killer(env))
+        result = write_then_read(env, deployment, 8 * MB)
+        assert result.size == 8 * MB
+        assert len(result.sources) == 4

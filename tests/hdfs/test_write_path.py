@@ -1,0 +1,170 @@
+"""Integration tests: the baseline HDFS write path end-to-end."""
+
+import pytest
+
+from repro.cluster import MEDIUM, SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsClient, HdfsDeployment
+from repro.sim import Environment
+from repro.units import KB, MB, mbps
+
+
+def small_config(**hdfs_overrides):
+    defaults = dict(block_size=2 * MB, packet_size=64 * KB)
+    defaults.update(hdfs_overrides)
+    return SimulationConfig().with_hdfs(**defaults)
+
+
+def upload(cluster, size, path="/data/file.bin"):
+    deployment = HdfsDeployment(cluster)
+    client = HdfsClient(deployment)
+    result = cluster.env.run(until=cluster.env.process(client.put(path, size)))
+    return deployment, result
+
+
+class TestEndToEnd:
+    def test_small_file_completes(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        deployment, result = upload(cluster, 5 * MB)
+        assert result.n_blocks == 3  # 2 + 2 + 1 MB
+        assert result.duration > 0
+        assert deployment.namenode.file_fully_replicated("/data/file.bin")
+
+    def test_single_packet_file(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        deployment, result = upload(cluster, 10 * KB)
+        assert result.n_blocks == 1
+        assert deployment.namenode.file_fully_replicated("/data/file.bin")
+
+    def test_exact_block_multiple(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        deployment, result = upload(cluster, 4 * MB)
+        assert result.n_blocks == 2
+
+    def test_every_block_has_replication_pipelines(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        _, result = upload(cluster, 6 * MB)
+        assert len(result.pipelines) == result.n_blocks
+        for pipeline in result.pipelines:
+            assert len(pipeline) == 3
+            assert len(set(pipeline)) == 3
+
+    def test_replica_sizes_match_block_sizes(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        deployment, _ = upload(cluster, 5 * MB)
+        nn = deployment.namenode
+        for block in nn.namespace.get("/data/file.bin").blocks:
+            info = nn.blocks.info(block.block_id)
+            for replica in info.replicas.values():
+                assert replica.finalized
+                assert replica.bytes_confirmed == block.size
+
+    def test_stop_and_wait_uses_one_pipeline(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        _, result = upload(cluster, 5 * MB)
+        assert result.max_concurrent_pipelines == 1
+        assert result.system == "hdfs"
+
+
+class TestTimingPhysics:
+    """Upload times must track the §III-D cost model's structure."""
+
+    def test_throughput_below_nic_rate(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        _, result = upload(cluster, 10 * MB)
+        assert result.throughput < mbps(216)
+
+    def test_throughput_reasonably_close_to_nic(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        _, result = upload(cluster, 10 * MB)
+        # Unthrottled homogeneous cluster: pipeline bandwidth == NIC rate;
+        # stop-and-wait tails cost something but not half the bandwidth.
+        assert result.throughput > mbps(216) * 0.6
+
+    def test_time_proportional_to_size(self):
+        """Figure 5's linearity: time grows ~linearly with file size."""
+        durations = {}
+        for size_mb in (4, 8, 16):
+            env = Environment()
+            cluster = build_homogeneous(
+                env, SMALL, n_datanodes=9, config=small_config()
+            )
+            _, result = upload(cluster, size_mb * MB)
+            durations[size_mb] = result.duration
+        ratio_8_4 = durations[8] / durations[4]
+        ratio_16_8 = durations[16] / durations[8]
+        assert ratio_8_4 == pytest.approx(2.0, rel=0.15)
+        assert ratio_16_8 == pytest.approx(2.0, rel=0.15)
+
+    def test_cross_rack_throttle_gates_pipeline(self):
+        """With a throttled rack boundary the pipeline runs at throttle rate
+        (every pipeline crosses racks at least once by placement policy)."""
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        cluster.throttle_rack_boundary(50)
+        _, result = upload(cluster, 10 * MB)
+        assert result.throughput < mbps(50) * 1.1
+        assert result.throughput > mbps(50) * 0.5
+
+    def test_medium_faster_than_small(self):
+        times = {}
+        for itype in (SMALL, MEDIUM):
+            env = Environment()
+            cluster = build_homogeneous(env, itype, n_datanodes=9, config=small_config())
+            _, result = upload(cluster, 10 * MB)
+            times[itype.name] = result.duration
+        assert times["medium"] < times["small"]
+
+    def test_rpc_latency_shows_up_per_block(self):
+        """Raising T_n by dt adds ~n_blocks*dt to the upload."""
+        results = {}
+        for latency in (1e-3, 100e-3):
+            env = Environment()
+            cfg = small_config(namenode_rpc_latency=latency)
+            cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+            _, result = upload(cluster, 6 * MB)  # 3 blocks
+            results[latency] = result.duration
+        extra = results[100e-3] - results[1e-3]
+        # create + 3 addBlock + complete ≈ 5 RPCs
+        assert extra == pytest.approx(5 * 99e-3, rel=0.3)
+
+
+class TestMultipleFiles:
+    def test_sequential_uploads_same_client(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=small_config())
+        deployment = HdfsDeployment(cluster)
+        client = HdfsClient(deployment)
+        r1 = env.run(until=env.process(client.put("/a", 2 * MB)))
+        r2 = env.run(until=env.process(client.put("/b", 2 * MB)))
+        assert deployment.namenode.file_fully_replicated("/a")
+        assert deployment.namenode.file_fully_replicated("/b")
+        assert r2.start >= r1.end
+
+    def test_replication_one(self):
+        env = Environment()
+        cfg = SimulationConfig().with_hdfs(
+            block_size=2 * MB, packet_size=64 * KB, replication=1
+        )
+        cluster = build_homogeneous(env, SMALL, n_datanodes=3, config=cfg)
+        deployment, result = upload(cluster, 4 * MB)
+        assert all(len(p) == 1 for p in result.pipelines)
+        assert deployment.namenode.file_fully_replicated("/data/file.bin")
+
+    def test_replication_two(self):
+        env = Environment()
+        cfg = SimulationConfig().with_hdfs(
+            block_size=2 * MB, packet_size=64 * KB, replication=2
+        )
+        cluster = build_homogeneous(env, SMALL, n_datanodes=4, config=cfg)
+        deployment, result = upload(cluster, 4 * MB)
+        assert all(len(p) == 2 for p in result.pipelines)
+        assert deployment.namenode.file_fully_replicated("/data/file.bin")

@@ -1,0 +1,110 @@
+"""Tests for the map-phase runner (§VII future work)."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.mapred import JobConfig, MapRunner
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def ingest(system="hdfs", size=8 * MB, n_datanodes=9):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = (
+        SmarthDeployment(cluster) if system == "smarth" else HdfsDeployment(cluster)
+    )
+    client = deployment.client()
+    env.run(until=env.process(client.put("/input", size)))
+    env.run(until=env.now + 1)
+    return env, deployment
+
+
+class TestJobConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"map_slots_per_node": 0},
+            {"compute_rate": 0},
+            {"scheduler_delay": -1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            JobConfig(**kwargs)
+
+
+class TestMapPhase:
+    def test_one_task_per_block(self):
+        env, deployment = ingest(size=8 * MB)  # 4 blocks
+        runner = MapRunner(deployment)
+        result = env.run(until=env.process(runner.run("/input")))
+        assert result.n_tasks == 4
+        assert len(result.tasks) == 4
+        assert result.duration > 0
+
+    def test_full_locality_on_replicated_file(self):
+        """Replication 3 over 9 nodes: every task can run data-local."""
+        env, deployment = ingest(size=12 * MB)
+        runner = MapRunner(deployment)
+        result = env.run(until=env.process(runner.run("/input")))
+        assert result.locality_fraction == 1.0
+
+    def test_smarth_ingested_file_fully_processable(self):
+        env, deployment = ingest(system="smarth", size=12 * MB)
+        runner = MapRunner(deployment)
+        result = env.run(until=env.process(runner.run("/input")))
+        assert result.n_tasks == 6
+        assert result.locality_fraction == 1.0
+
+    def test_slots_bound_concurrency(self):
+        env, deployment = ingest(size=16 * MB)  # 8 blocks
+        runner = MapRunner(deployment, JobConfig(map_slots_per_node=1))
+        result = env.run(until=env.process(runner.run("/input")))
+        # With 1 slot/node, overlapping tasks on one node must serialize:
+        # no two task intervals on the same node may overlap.
+        by_node: dict[str, list] = {}
+        for task in result.tasks:
+            by_node.setdefault(task.node, []).append(task)
+        for tasks in by_node.values():
+            tasks.sort(key=lambda t: t.start)
+            for a, b in zip(tasks, tasks[1:]):
+                assert a.end <= b.start + 1e-9
+
+    def test_compute_rate_dominates_when_slow(self):
+        env, deployment = ingest(size=4 * MB)  # 2 blocks
+        slow = MapRunner(deployment, JobConfig(compute_rate=1 * MB))
+        result = env.run(until=env.process(slow.run("/input")))
+        # 2 MB blocks at 1 MB/s compute → ≥ 2 s per task.
+        for task in result.tasks:
+            assert task.duration >= 2.0
+
+    def test_remote_task_when_holders_dead(self):
+        env, deployment = ingest(size=2 * MB, n_datanodes=5)
+        nn = deployment.namenode
+        block = nn.namespace.get("/input").blocks[0]
+        holders = nn.blocks.locations(block.block_id)
+        # Kill all but one holder: tasks must still run, possibly remote.
+        for holder in holders[:-1]:
+            deployment.datanode(holder).kill()
+        runner = MapRunner(deployment, JobConfig(map_slots_per_node=1))
+        result = env.run(until=env.process(runner.run("/input")))
+        assert result.n_tasks == 1
+        assert len(result.tasks) == 1
+
+    def test_job_faster_with_more_slots(self):
+        # 8 blocks over only 3 datanodes → several tasks per node, so the
+        # slot count actually binds.
+        durations = {}
+        for slots in (1, 4):
+            env, deployment = ingest(size=16 * MB, n_datanodes=3)
+            runner = MapRunner(
+                deployment, JobConfig(map_slots_per_node=slots, compute_rate=5 * MB)
+            )
+            result = env.run(until=env.process(runner.run("/input")))
+            durations[slots] = result.duration
+        assert durations[4] < durations[1]

@@ -1,0 +1,85 @@
+"""Unit tests for the rack-aware topology."""
+
+import pytest
+
+from repro.net import (
+    DISTANCE_OFF_RACK,
+    DISTANCE_SAME_NODE,
+    DISTANCE_SAME_RACK,
+    Topology,
+)
+
+
+@pytest.fixture()
+def topo():
+    return Topology.from_rack_map(
+        {"rack0": ["a", "b", "c"], "rack1": ["d", "e"]}
+    )
+
+
+class TestConstruction:
+    def test_from_rack_map(self, topo):
+        assert topo.racks == ("rack0", "rack1")
+        assert topo.hosts == ("a", "b", "c", "d", "e")
+
+    def test_duplicate_host_rejected(self, topo):
+        with pytest.raises(ValueError):
+            topo.add_host("a", "rack1")
+
+    def test_empty_rack_name_rejected(self):
+        with pytest.raises(ValueError):
+            Topology().add_rack("")
+
+    def test_add_rack_idempotent(self):
+        topo = Topology()
+        topo.add_rack("r")
+        topo.add_rack("r")
+        assert topo.racks == ("r",)
+
+    def test_contains_and_len(self, topo):
+        assert "a" in topo
+        assert "zz" not in topo
+        assert len(topo) == 5
+
+
+class TestQueries:
+    def test_rack_of(self, topo):
+        assert topo.rack_of("a") == "rack0"
+        assert topo.rack_of("e") == "rack1"
+
+    def test_rack_of_unknown_host(self, topo):
+        with pytest.raises(KeyError):
+            topo.rack_of("nope")
+
+    def test_hosts_in_rack(self, topo):
+        assert topo.hosts_in_rack("rack1") == ("d", "e")
+
+    def test_hosts_in_unknown_rack(self, topo):
+        with pytest.raises(KeyError):
+            topo.hosts_in_rack("rack9")
+
+    def test_same_rack(self, topo):
+        assert topo.same_rack("a", "b")
+        assert not topo.same_rack("a", "d")
+
+    def test_distance_same_node(self, topo):
+        assert topo.distance("a", "a") == DISTANCE_SAME_NODE
+
+    def test_distance_same_rack(self, topo):
+        assert topo.distance("a", "b") == DISTANCE_SAME_RACK
+
+    def test_distance_off_rack(self, topo):
+        assert topo.distance("a", "d") == DISTANCE_OFF_RACK
+
+    def test_distance_unknown_host(self, topo):
+        with pytest.raises(KeyError):
+            topo.distance("nope", "nope")
+
+    def test_remote_rack_hosts(self, topo):
+        assert topo.remote_rack_hosts("a") == ("d", "e")
+        assert topo.remote_rack_hosts("d") == ("a", "b", "c")
+
+    def test_graph_copy_is_independent(self, topo):
+        g = topo.graph_copy()
+        g.remove_node("host:a")
+        assert "a" in topo

@@ -1,0 +1,122 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, Store
+
+
+@given(delays=st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+@settings(max_examples=200, deadline=None)
+def test_clock_is_monotonic_over_arbitrary_timeouts(delays):
+    """The clock never goes backwards, whatever the schedule looks like."""
+    env = Environment()
+    observed = []
+
+    def waiter(env, delay):
+        yield env.timeout(delay)
+        observed.append(env.now)
+
+    for delay in delays:
+        env.process(waiter(env, delay))
+    env.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(delays)
+
+
+@given(
+    holds=st.lists(
+        st.floats(min_value=0.001, max_value=10), min_size=1, max_size=30
+    ),
+    capacity=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_resource_never_exceeds_capacity(holds, capacity):
+    """At no instant do more than ``capacity`` processes hold the resource."""
+    env = Environment()
+    res = Resource(env, capacity=capacity)
+    concurrent = 0
+    max_concurrent = 0
+
+    def user(env, res, hold):
+        nonlocal concurrent, max_concurrent
+        with res.request() as req:
+            yield req
+            concurrent += 1
+            max_concurrent = max(max_concurrent, concurrent)
+            yield env.timeout(hold)
+            concurrent -= 1
+
+    for hold in holds:
+        env.process(user(env, res, hold))
+    env.run()
+    assert concurrent == 0
+    assert max_concurrent <= capacity
+
+
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=100),
+    capacity=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_store_conserves_and_orders_items(items, capacity):
+    """Everything put into a bounded store comes out, once, in FIFO order."""
+    env = Environment()
+    store = Store(env, capacity=capacity)
+    got = []
+
+    def producer(env, store):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(env, store):
+        for _ in range(len(items)):
+            value = yield store.get()
+            got.append(value)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert got == items
+    assert len(store) == 0
+
+
+@given(
+    n_users=st.integers(min_value=1, max_value=20),
+    hold=st.floats(min_value=0.01, max_value=5),
+)
+@settings(max_examples=50, deadline=None)
+def test_serialized_resource_total_time_is_sum_of_holds(n_users, hold):
+    """A capacity-1 resource serializes perfectly: makespan = n * hold.
+
+    This is the property the NIC model relies on for bandwidth computation.
+    """
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def user(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(hold)
+
+    procs = [env.process(user(env, res)) for _ in range(n_users)]
+    env.run(until=env.all_of(procs))
+    assert abs(env.now - n_users * hold) < 1e-9 * max(1.0, n_users * hold)
+
+
+@given(seed_delays=st.lists(st.floats(min_value=0, max_value=100), min_size=2, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_simultaneous_events_preserve_creation_order(seed_delays):
+    """Events scheduled for the same instant fire in scheduling order."""
+    env = Environment()
+    fired = []
+    t = max(seed_delays)  # everything rescheduled to one instant
+
+    def waiter(env, idx):
+        yield env.timeout(t)
+        fired.append(idx)
+
+    for idx in range(len(seed_delays)):
+        env.process(waiter(env, idx))
+    env.run()
+    assert fired == list(range(len(seed_delays)))

@@ -1,0 +1,84 @@
+"""Adaptivity tests: §III-C's 'network status varies all the time'.
+
+The local optimizer's exploratory swap (threshold 0.8) exists so stale
+speed records get refreshed when conditions change.  These tests change
+conditions *mid-upload* and check the protocol reacts the way the paper
+intends.
+"""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.faults import FaultInjector
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB, mbps
+
+
+def build(threshold=0.8, heartbeat=0.5):
+    env = Environment()
+    cfg = (
+        SimulationConfig()
+        .with_hdfs(
+            block_size=2 * MB, packet_size=64 * KB, heartbeat_interval=heartbeat
+        )
+        .with_smarth(local_opt_threshold=threshold)
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = SmarthDeployment(cluster, enable_replication_monitor=False)
+    return env, deployment
+
+
+class TestDynamicThrottle:
+    def test_throttle_applies_dynamically(self):
+        env, deployment = build()
+        injector = FaultInjector(deployment)
+        injector.throttle_at("dn0", 10, at=1.0)
+        env.run(until=2)
+        client_host = deployment.cluster.client_host
+        dn0 = deployment.datanode("dn0").node
+        assert deployment.network.effective_rate(client_host, dn0) == mbps(10)
+        assert any(e.kind == "throttle" for e in injector.events)
+
+    def test_unthrottle_restores(self):
+        env, deployment = build()
+        injector = FaultInjector(deployment)
+        injector.throttle_at("dn0", 10, at=1.0)
+        injector.unthrottle_at("dn0", at=2.0)
+        env.run(until=3)
+        client_host = deployment.cluster.client_host
+        dn0 = deployment.datanode("dn0").node
+        assert deployment.network.effective_rate(client_host, dn0) == mbps(216)
+
+    def test_client_learns_to_avoid_degraded_node(self):
+        """A node that degrades mid-upload stops being picked as the
+        first datanode once its speed record catches up."""
+        env, deployment = build()
+        injector = FaultInjector(deployment)
+        client = deployment.client()
+
+        # Degrade dn0 hard, early.
+        injector.throttle_at("dn0", 5, at=1.0)
+        result = env.run(until=env.process(client.put("/f", 40 * MB)))
+        env.run(until=env.now + 1)
+        assert deployment.namenode.file_fully_replicated("/f")
+
+        # dn0 must not be the *first* datanode in the final stretch
+        # (exploration may touch it once; the tail should avoid it).
+        tail_firsts = [p[0] for p in result.pipelines[-5:]]
+        assert tail_firsts.count("dn0") <= 1
+
+    def test_upload_faster_with_adaptation_than_frozen_records(self):
+        """Against a mid-upload degradation, the paper's exploring
+        configuration beats a never-swap (threshold=1.0) client that can
+        still exploit its pre-degradation record of the now-slow node."""
+        durations = {}
+        for threshold in (0.8, 1.0):
+            env, deployment = build(threshold=threshold)
+            injector = FaultInjector(deployment)
+            injector.throttle_at("dn2", 5, at=2.0)
+            client = deployment.client()
+            result = env.run(until=env.process(client.put("/f", 60 * MB)))
+            durations[threshold] = result.duration
+        assert durations[0.8] <= durations[1.0] * 1.05

@@ -1,0 +1,129 @@
+"""Integration tests for Algorithm 4: SMARTH multi-pipeline recovery."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.smarth import SmarthDeployment
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def build(n_datanodes=9, throttle=None):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    if throttle:
+        cluster.throttle_rack_boundary(throttle)
+    return env, SmarthDeployment(cluster)
+
+
+def kill_active_at(env, deployment, at, pick=0):
+    """Kill a datanode that has an active receiver at time ``at``."""
+    victims = []
+
+    def killer(env):
+        yield env.timeout(at)
+        active = [
+            d
+            for d in deployment.datanodes.values()
+            if d.active_receivers > 0 and d.node.alive
+        ]
+        if active:
+            victim = active[min(pick, len(active) - 1)]
+            victims.append(victim.name)
+            victim.kill()
+
+    env.process(killer(env))
+    return victims
+
+
+class TestAlgorithm4:
+    def test_upload_survives_failure_in_background_pipeline(self):
+        # Throttle so pipelines linger in the background phase; kill a
+        # node late in the pipeline (high pick index → a forwarding node).
+        env, deployment = build(throttle=50)
+        client = deployment.client()
+        victims = kill_active_at(env, deployment, at=0.4, pick=2)
+        result = env.run(until=env.process(client.put("/f", 12 * MB)))
+        assert victims
+        assert result.recoveries >= 1
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_upload_survives_first_datanode_failure(self):
+        env, deployment = build(throttle=50)
+        client = deployment.client()
+        victims = kill_active_at(env, deployment, at=0.05, pick=0)
+        result = env.run(until=env.process(client.put("/f", 12 * MB)))
+        assert victims
+        assert result.recoveries >= 1
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_replicas_full_size_after_recovery(self):
+        env, deployment = build(throttle=50)
+        client = deployment.client()
+        victims = kill_active_at(env, deployment, at=0.3, pick=1)
+        env.run(until=env.process(client.put("/f", 10 * MB)))
+        assert victims
+        nn = deployment.namenode
+        for block in nn.namespace.get("/f").blocks:
+            info = nn.blocks.info(block.block_id)
+            finalized = [r for r in info.replicas.values() if r.finalized]
+            assert len(finalized) >= 3
+            for replica in finalized:
+                assert replica.bytes_confirmed == block.size
+
+    def test_failed_node_blacklisted_from_later_pipelines(self):
+        env, deployment = build(throttle=50)
+        client = deployment.client()
+        victims = kill_active_at(env, deployment, at=0.05)
+        result = env.run(until=env.process(client.put("/f", 16 * MB)))
+        assert victims
+        victim = victims[0]
+        # Pipelines opened after the failure must avoid the dead node.
+        # (The victim may appear in pipelines opened before it died.)
+        later = result.pipelines[result.recoveries + 2 :]
+        assert all(victim not in p for p in later)
+
+    def test_multiple_failures(self):
+        env, deployment = build(throttle=50)
+        client = deployment.client()
+        v1 = kill_active_at(env, deployment, at=0.2, pick=0)
+        v2 = kill_active_at(env, deployment, at=0.8, pick=1)
+        result = env.run(until=env.process(client.put("/f", 16 * MB)))
+        assert v1 and v2 and v1 != v2
+        assert result.recoveries >= 2
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_recovery_cost_is_bounded(self):
+        """A single failure must not blow the upload time up by > 2x."""
+        env_c, dep_c = build(throttle=50)
+        clean = env_c.run(until=env_c.process(dep_c.client().put("/f", 12 * MB)))
+        env_f, dep_f = build(throttle=50)
+        client = dep_f.client()
+        kill_active_at(env_f, dep_f, at=0.4, pick=2)
+        faulty = env_f.run(until=env_f.process(client.put("/f", 12 * MB)))
+        assert faulty.duration < clean.duration * 2.0
+
+    def test_smarth_still_beats_hdfs_with_failures(self):
+        """Recovery must not erase the multi-pipeline advantage."""
+        from repro.hdfs import HdfsDeployment
+        from repro.cluster import build_homogeneous as build_cluster
+
+        durations = {}
+        for smarth in (False, True):
+            env = Environment()
+            cfg = SimulationConfig().with_hdfs(
+                block_size=2 * MB, packet_size=64 * KB
+            )
+            cluster = build_cluster(env, SMALL, n_datanodes=9, config=cfg)
+            cluster.throttle_rack_boundary(50)
+            deployment = (
+                SmarthDeployment(cluster) if smarth else HdfsDeployment(cluster)
+            )
+            client = deployment.client()
+            kill_active_at(env, deployment, at=0.5, pick=1)
+            result = env.run(until=env.process(client.put("/f", 16 * MB)))
+            assert deployment.namenode.file_fully_replicated("/f")
+            durations[smarth] = result.duration
+        assert durations[True] < durations[False]

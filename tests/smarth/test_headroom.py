@@ -1,0 +1,63 @@
+"""Tests for SMARTH's adaptive concurrency under a shrinking cluster."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def build(n_datanodes=9):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    cluster.throttle_rack_boundary(50)  # keep pipelines alive longer
+    return env, SmarthDeployment(cluster, enable_replication_monitor=False)
+
+
+class TestHeadroom:
+    def test_full_width_pipelines_despite_death(self):
+        """After a failure shrinks the pool, the client waits for live
+        pipelines to release datanodes instead of opening degraded
+        (under-replicated) pipelines."""
+        env, deployment = build()
+
+        def killer(env):
+            yield env.timeout(0.3)
+            busy = [
+                d
+                for d in deployment.datanodes.values()
+                if d.active_receivers > 0 and d.node.alive
+            ]
+            if busy:
+                busy[-1].kill()
+
+        env.process(killer(env))
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", 20 * MB)))
+        env.run(until=env.now + 1)
+        assert deployment.namenode.file_fully_replicated("/f")
+        # Every pipeline that survived to completion is full width.
+        for pipeline in result.pipelines:
+            assert len(pipeline) == 3
+
+    def test_minimal_cluster_single_pipeline(self):
+        """With exactly `replication` datanodes the cap is one pipeline
+        and SMARTH still completes correctly."""
+        env, deployment = build(n_datanodes=3)
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", 8 * MB)))
+        env.run(until=env.now + 1)
+        assert result.max_concurrent_pipelines == 1
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_four_datanodes_cap_one(self):
+        """9//3=3 but 4//3=1: the §IV-C rule floors tiny clusters."""
+        env, deployment = build(n_datanodes=4)
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", 6 * MB)))
+        env.run(until=env.now + 1)
+        assert result.max_concurrent_pipelines == 1
+        assert deployment.namenode.file_fully_replicated("/f")

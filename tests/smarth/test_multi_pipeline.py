@@ -1,0 +1,152 @@
+"""Integration tests: the SMARTH multi-pipeline write path (§III-A)."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.smarth import SmarthDeployment
+from repro.sim import Environment
+from repro.units import KB, MB, mbps
+
+
+def config(**hdfs):
+    defaults = dict(block_size=2 * MB, packet_size=64 * KB)
+    defaults.update(hdfs)
+    return SimulationConfig().with_hdfs(**defaults)
+
+
+def smarth_upload(cluster, size, path="/f"):
+    deployment = SmarthDeployment(cluster)
+    client = deployment.client()
+    result = cluster.env.run(until=cluster.env.process(client.put(path, size)))
+    return deployment, result
+
+
+class TestCorrectness:
+    def test_file_fully_replicated(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        deployment, result = smarth_upload(cluster, 10 * MB)
+        assert result.n_blocks == 5
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_replica_sizes_exact(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        deployment, _ = smarth_upload(cluster, 7 * MB)
+        nn = deployment.namenode
+        for block in nn.namespace.get("/f").blocks:
+            info = nn.blocks.info(block.block_id)
+            finalized = [r for r in info.replicas.values() if r.finalized]
+            assert len(finalized) == 3
+            for replica in finalized:
+                assert replica.bytes_confirmed == block.size
+
+    def test_single_block_file(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        deployment, result = smarth_upload(cluster, 100 * KB)
+        assert result.n_blocks == 1
+        assert deployment.namenode.file_fully_replicated("/f")
+
+    def test_pipelines_use_disjoint_datanodes_while_live(self):
+        """§IV-C: a datanode serves at most one live pipeline per client.
+
+        Verified post-hoc: consecutive concurrently-live pipelines never
+        share datanodes.  We approximate by checking that each pipeline's
+        targets are distinct (exactly 3) and that the upload used more
+        than 3 distinct datanodes overall (i.e. rotation happened).
+        """
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        cluster.throttle_rack_boundary(50)
+        _, result = smarth_upload(cluster, 20 * MB)
+        used = set()
+        for pipeline in result.pipelines:
+            assert len(set(pipeline)) == len(pipeline)
+            used.update(pipeline)
+        assert len(used) > 3
+
+    def test_max_pipelines_never_exceeds_cap(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        cluster.throttle_rack_boundary(25)  # slow drain → high concurrency
+        _, result = smarth_upload(cluster, 20 * MB)
+        assert result.max_concurrent_pipelines <= 3  # 9 // 3
+
+    def test_max_pipelines_override(self):
+        env = Environment()
+        cfg = config().with_smarth(max_pipelines=1)
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+        _, result = smarth_upload(cluster, 10 * MB)
+        assert result.max_concurrent_pipelines == 1
+
+    def test_speed_records_populated(self):
+        env = Environment()
+        # Shrink the heartbeat so reports fire within this small upload.
+        cfg = config(heartbeat_interval=0.05)
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+        deployment = SmarthDeployment(cluster)
+        client = deployment.client()
+        env.run(until=env.process(client.put("/f", 20 * MB)))
+        assert len(client.records) >= 1
+        assert deployment.namenode.speeds.has_records(client.name)
+
+    def test_sequential_files_reuse_learned_speeds(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        deployment = SmarthDeployment(cluster)
+        client = deployment.client()
+        env.run(until=env.process(client.put("/a", 8 * MB)))
+        r2 = env.run(until=env.process(client.put("/b", 8 * MB)))
+        assert deployment.namenode.file_fully_replicated("/a")
+        assert deployment.namenode.file_fully_replicated("/b")
+        assert r2.duration > 0
+
+
+class TestPerformance:
+    """The §III-D cost-model claims, verified in simulation."""
+
+    def _run_pair(self, throttle=None, size=64 * MB, n_datanodes=9):
+        durations = {}
+        for smarth in (False, True):
+            env = Environment()
+            cluster = build_homogeneous(
+                env, SMALL, n_datanodes=n_datanodes, config=config()
+            )
+            if throttle:
+                cluster.throttle_rack_boundary(throttle)
+            deployment = (
+                SmarthDeployment(cluster) if smarth else HdfsDeployment(cluster)
+            )
+            client = deployment.client()
+            result = env.run(until=env.process(client.put("/f", size)))
+            assert deployment.namenode.file_fully_replicated("/f")
+            durations[smarth] = result.duration
+        return durations
+
+    def test_smarth_beats_hdfs_under_throttling(self):
+        durations = self._run_pair(throttle=50)
+        assert durations[True] < durations[False] * 0.75
+
+    def test_smarth_close_to_hdfs_unthrottled(self):
+        """Figure 5: 'no big gain if the cluster's network is homogeneous'."""
+        durations = self._run_pair(throttle=None)
+        assert durations[True] <= durations[False] * 1.05  # never worse
+        assert durations[True] > durations[False] * 0.5  # and not magic
+
+    def test_tighter_throttle_bigger_gain(self):
+        """Figure 6-9: the more throttled the boundary, the bigger the win."""
+        gain_at = {}
+        for throttle in (150, 50):
+            durations = self._run_pair(throttle=throttle, size=96 * MB)
+            gain_at[throttle] = durations[False] / durations[True]
+        assert gain_at[50] > gain_at[150]
+
+    def test_smarth_concurrency_appears_under_throttle(self):
+        env = Environment()
+        cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config())
+        cluster.throttle_rack_boundary(50)
+        _, result = smarth_upload(cluster, 48 * MB)
+        assert result.max_concurrent_pipelines >= 2

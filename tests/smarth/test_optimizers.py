@@ -1,0 +1,166 @@
+"""Unit tests for Algorithm 1 (global) and Algorithm 2 (local) optimizers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import HdfsConfig
+from repro.hdfs.datanode_manager import DatanodeManager
+from repro.hdfs.namenode import SpeedRegistry
+from repro.net import Topology
+from repro.sim import Environment
+from repro.smarth import LocalOptimizer, SmarthPlacementPolicy, SpeedRecords, SpeedSample
+
+RACKS = {
+    "rack0": ["dn0", "dn2", "dn4", "dn6", "dn8"],
+    "rack1": ["dn1", "dn3", "dn5", "dn7"],
+}
+
+
+def make_policy(speed_map=None, seed=7, enabled=True, replication=3):
+    env = Environment()
+    topo = Topology.from_rack_map(RACKS)
+    manager = DatanodeManager(env, HdfsConfig())
+    for rack, hosts in RACKS.items():
+        for host in hosts:
+            manager.register(host, rack)
+    registry = SpeedRegistry()
+    if speed_map:
+        registry.update("client", speed_map)
+    return SmarthPlacementPolicy(
+        topo, manager, registry, random.Random(seed), replication, enabled=enabled
+    )
+
+
+class TestGlobalOptimization:
+    def test_no_records_falls_back_to_default(self):
+        policy = make_policy()
+        targets = policy.choose_targets("client", 3)
+        assert len(set(targets)) == 3
+        assert policy.fallback_selections == 1
+        assert policy.topn_selections == 0
+
+    def test_first_datanode_from_topn(self):
+        # 9 datanodes, repli 3 → n = 3; dn0/dn2/dn4 are the fastest.
+        speeds = {f"dn{i}": 100.0 - i for i in range(9)}
+        policy = make_policy(speeds)
+        firsts = {policy.choose_targets("client", 3)[0] for _ in range(100)}
+        assert firsts <= {"dn0", "dn1", "dn2"}
+        assert policy.topn_selections == 100
+
+    def test_second_replica_remote_rack(self):
+        speeds = {f"dn{i}": 100.0 - i for i in range(9)}
+        policy = make_policy(speeds)
+        for _ in range(50):
+            t = policy.choose_targets("client", 3)
+            assert policy.topology.rack_of(t[0]) != policy.topology.rack_of(t[1])
+            assert policy.topology.rack_of(t[1]) == policy.topology.rack_of(t[2])
+
+    def test_unmeasured_nodes_fill_topn(self):
+        # Only one (slow) node measured: unmeasured nodes must still be
+        # eligible as first datanode, else one bad early sample pins us.
+        policy = make_policy({"dn7": 1.0})
+        firsts = {policy.choose_targets("client", 3)[0] for _ in range(200)}
+        assert len(firsts) > 1
+
+    def test_excluded_respected(self):
+        speeds = {f"dn{i}": 100.0 - i for i in range(9)}
+        policy = make_policy(speeds)
+        excluded = {"dn0", "dn1", "dn2", "dn3", "dn4", "dn5"}
+        for _ in range(50):
+            t = policy.choose_targets("client", 3, excluded=excluded)
+            assert not excluded & set(t)
+
+    def test_disabled_always_falls_back(self):
+        speeds = {f"dn{i}": 100.0 - i for i in range(9)}
+        policy = make_policy(speeds, enabled=False)
+        policy.choose_targets("client", 3)
+        assert policy.fallback_selections == 1
+
+    def test_degrades_below_replication(self):
+        speeds = {f"dn{i}": 100.0 - i for i in range(9)}
+        policy = make_policy(speeds)
+        t = policy.choose_targets(
+            "client", 3, excluded={f"dn{i}" for i in range(7)}
+        )
+        assert len(t) == 2
+
+    def test_targets_always_distinct(self):
+        speeds = {f"dn{i}": float(i) for i in range(9)}
+        policy = make_policy(speeds)
+        for _ in range(100):
+            t = policy.choose_targets("client", 3)
+            assert len(set(t)) == len(t)
+
+
+class TestLocalOptimization:
+    def _records(self, speeds):
+        rec = SpeedRecords()
+        for dn, rate in speeds.items():
+            rec.record(SpeedSample(dn, nbytes=int(rate), duration=1.0, at=0))
+        return rec
+
+    def test_sorts_descending_by_speed(self):
+        rec = self._records({"a": 10, "b": 30, "c": 20})
+        opt = LocalOptimizer(rec, random.Random(1), threshold=1.0)
+        assert opt.reorder(("a", "b", "c")) == ("b", "c", "a")
+
+    def test_unknown_nodes_sort_last(self):
+        rec = self._records({"a": 10})
+        opt = LocalOptimizer(rec, random.Random(1), threshold=1.0)
+        assert opt.reorder(("x", "a", "y"))[0] == "a"
+
+    def test_threshold_one_never_swaps(self):
+        rec = self._records({"a": 10, "b": 30, "c": 20})
+        opt = LocalOptimizer(rec, random.Random(1), threshold=1.0)
+        for _ in range(200):
+            opt.reorder(("a", "b", "c"))
+        assert opt.swaps == 0
+
+    def test_threshold_zero_always_swaps(self):
+        rec = self._records({"a": 10, "b": 30, "c": 20})
+        opt = LocalOptimizer(rec, random.Random(1), threshold=0.0)
+        for _ in range(100):
+            result = opt.reorder(("a", "b", "c"))
+            assert result[0] != "b"  # fastest was swapped away
+        assert opt.swaps == 100
+
+    def test_swap_rate_matches_threshold(self):
+        rec = self._records({"a": 10, "b": 30, "c": 20})
+        opt = LocalOptimizer(rec, random.Random(42), threshold=0.8)
+        n = 5000
+        for _ in range(n):
+            opt.reorder(("a", "b", "c"))
+        assert opt.swaps / n == pytest.approx(0.2, abs=0.03)
+
+    def test_disabled_returns_input(self):
+        rec = self._records({"a": 10, "b": 30})
+        opt = LocalOptimizer(rec, random.Random(1), enabled=False)
+        assert opt.reorder(("a", "b")) == ("a", "b")
+
+    def test_single_target_untouched(self):
+        opt = LocalOptimizer(SpeedRecords(), random.Random(1), threshold=0.0)
+        assert opt.reorder(("only",)) == ("only",)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            LocalOptimizer(SpeedRecords(), random.Random(1), threshold=1.5)
+
+    @given(
+        targets=st.lists(
+            st.sampled_from([f"dn{i}" for i in range(9)]),
+            min_size=1,
+            max_size=5,
+            unique=True,
+        ),
+        seed=st.integers(min_value=0, max_value=10**6),
+        threshold=st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_reorder_is_permutation(self, targets, seed, threshold):
+        rec = self._records({f"dn{i}": float(i + 1) for i in range(5)})
+        opt = LocalOptimizer(rec, random.Random(seed), threshold=threshold)
+        result = opt.reorder(tuple(targets))
+        assert sorted(result) == sorted(targets)

@@ -1,0 +1,74 @@
+"""Unit tests for client-side speed records and the heartbeat reporter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smarth import SpeedRecords, SpeedSample
+
+
+class TestSpeedSample:
+    def test_rate(self):
+        s = SpeedSample("dn0", nbytes=1000, duration=2.0, at=5.0)
+        assert s.rate == 500.0
+
+    def test_zero_duration_rate(self):
+        s = SpeedSample("dn0", nbytes=1000, duration=0.0, at=5.0)
+        assert s.rate == 0.0
+
+
+class TestSpeedRecords:
+    def test_first_sample_sets_speed(self):
+        rec = SpeedRecords()
+        rec.record(SpeedSample("dn0", 1000, 1.0, at=0))
+        assert rec.speed_of("dn0") == pytest.approx(1000.0)
+
+    def test_ewma_blends(self):
+        rec = SpeedRecords()
+        rec.record(SpeedSample("dn0", 1000, 1.0, at=0))  # 1000
+        rec.record(SpeedSample("dn0", 3000, 1.0, at=1))  # 0.5*3000+0.5*1000
+        assert rec.speed_of("dn0") == pytest.approx(2000.0)
+
+    def test_unknown_is_none(self):
+        assert SpeedRecords().speed_of("nope") is None
+
+    def test_zero_duration_ignored(self):
+        rec = SpeedRecords()
+        rec.record(SpeedSample("dn0", 1000, 0.0, at=0))
+        assert rec.speed_of("dn0") is None
+
+    def test_snapshot_and_dirty(self):
+        rec = SpeedRecords()
+        assert not rec.take_dirty()
+        rec.record(SpeedSample("dn0", 1000, 1.0, at=0))
+        assert rec.take_dirty()
+        assert not rec.take_dirty()  # consumed
+        assert rec.snapshot() == {"dn0": pytest.approx(1000.0)}
+
+    def test_latest_keeps_raw_sample(self):
+        rec = SpeedRecords()
+        s = SpeedSample("dn0", 1000, 1.0, at=7)
+        rec.record(s)
+        assert rec.latest("dn0") is s
+
+    def test_known_datanodes_sorted(self):
+        rec = SpeedRecords()
+        rec.record(SpeedSample("b", 1, 1.0, at=0))
+        rec.record(SpeedSample("a", 1, 1.0, at=0))
+        assert rec.known_datanodes() == ("a", "b")
+        assert len(rec) == 2
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=1, max_value=10**12), min_size=1, max_size=50
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_ewma_bounded_by_min_max(sizes):
+    """The smoothed speed always stays within observed sample bounds."""
+    rec = SpeedRecords()
+    for i, size in enumerate(sizes):
+        rec.record(SpeedSample("dn0", nbytes=size, duration=1.0, at=i))
+    smoothed = rec.speed_of("dn0")
+    assert min(sizes) - 1e-6 <= smoothed <= max(sizes) + 1e-6

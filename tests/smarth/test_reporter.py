@@ -1,0 +1,77 @@
+"""Unit tests for the heartbeat speed reporter."""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.sim import Environment
+from repro.smarth import SpeedRecords, SpeedSample, speed_reporter
+
+
+@pytest.fixture()
+def setup():
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(heartbeat_interval=1.0)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=3, config=cfg)
+    deployment = HdfsDeployment(cluster, enable_replication_monitor=False)
+    return env, deployment
+
+
+class TestReporter:
+    def test_dirty_records_delivered_on_next_beat(self, setup):
+        env, deployment = setup
+        records = SpeedRecords()
+        env.process(
+            speed_reporter(deployment.namenode, "c1", records, interval=1.0)
+        )
+
+        def feed(env):
+            yield env.timeout(0.5)
+            records.record(SpeedSample("dn0", 1000, 1.0, at=env.now))
+
+        env.process(feed(env))
+        env.run(until=0.9)
+        assert not deployment.namenode.speeds.has_records("c1")
+        env.run(until=1.5)
+        assert deployment.namenode.speeds.records_for("c1") == {
+            "dn0": pytest.approx(1000.0)
+        }
+
+    def test_clean_records_not_resent(self, setup):
+        env, deployment = setup
+        records = SpeedRecords()
+        records.record(SpeedSample("dn0", 1000, 1.0, at=0))
+        sent = []
+        original = deployment.namenode.client_heartbeat
+
+        def counting(client, payload):
+            sent.append(payload)
+            yield from original(client, payload)
+
+        deployment.namenode.client_heartbeat = counting
+        env.process(
+            speed_reporter(deployment.namenode, "c1", records, interval=1.0)
+        )
+        env.run(until=5.5)
+        assert len(sent) == 1  # one dirty flush, then silence
+
+    def test_updates_trigger_new_reports(self, setup):
+        env, deployment = setup
+        records = SpeedRecords()
+        env.process(
+            speed_reporter(deployment.namenode, "c1", records, interval=1.0)
+        )
+
+        def feed(env):
+            for i in range(3):
+                yield env.timeout(2.0)
+                records.record(
+                    SpeedSample("dn0", 1000 * (i + 1), 1.0, at=env.now)
+                )
+
+        env.process(feed(env))
+        env.run(until=8)
+        final = deployment.namenode.speeds.records_for("c1")["dn0"]
+        # EWMA of 1000, 2000, 3000 = 2250.
+        assert final == pytest.approx(2250.0)

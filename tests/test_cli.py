@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_upload_defaults(self):
+        args = build_parser().parse_args(["upload"])
+        assert args.system == "smarth"
+        assert args.scenario == "two-rack"
+        assert args.size == "1GB"
+
+    def test_experiment_choices(self):
+        args = build_parser().parse_args(["experiment", "fig6"])
+        assert args.id == "fig6"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_scenarios_lists_all(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "two_rack" in out
+        assert "contention" in out
+        assert "heterogeneous" in out
+
+    def test_upload_runs(self, capsys):
+        rc = main(
+            [
+                "upload",
+                "--system",
+                "hdfs",
+                "--size",
+                "128MB",
+                "--throttle",
+                "100",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicated fully: True" in out
+        assert "hdfs" in out
+
+    def test_compare_runs(self, capsys):
+        rc = main(["compare", "--size", "128MB", "--throttle", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_contention_scenario(self, capsys):
+        rc = main(
+            [
+                "upload",
+                "--scenario",
+                "contention",
+                "--slow-nodes",
+                "2",
+                "--size",
+                "128MB",
+            ]
+        )
+        assert rc == 0
+        assert "throttled" in capsys.readouterr().out
+
+    def test_roundtrip_runs(self, capsys):
+        rc = main(
+            ["roundtrip", "--system", "smarth", "--size", "128MB"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "write" in out and "read" in out
+        assert "replicated fully: True" in out
+
+    def test_experiment_table1(self, capsys):
+        rc = main(["experiment", "table1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "216" in out and "376" in out
+
+    def test_experiment_scaled_fig13(self, capsys):
+        rc = main(["experiment", "fig13", "--scale", "0.03125"])
+        assert rc == 0
+        assert "Heterogeneous" in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""End-to-end property-based tests: invariants over arbitrary configs.
+
+These are the strongest checks in the suite: for random file sizes,
+packet sizes, replication factors and cluster shapes, both protocols
+must deliver exactly-once, fully-replicated data — and the flow of bytes
+through NICs and disks must balance.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def run_upload_with(
+    system: str,
+    size: int,
+    n_datanodes: int,
+    replication: int,
+    packet_kb: int,
+    seed: int,
+    throttle: float | None = None,
+):
+    env = Environment()
+    cfg = SimulationConfig(seed=seed).with_hdfs(
+        block_size=MB,
+        packet_size=packet_kb * KB,
+        replication=replication,
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    if throttle:
+        cluster.throttle_rack_boundary(throttle)
+    deployment = (
+        SmarthDeployment(cluster, enable_replication_monitor=False)
+        if system == "smarth"
+        else HdfsDeployment(cluster, enable_replication_monitor=False)
+    )
+    client = deployment.client()
+    result = env.run(until=env.process(client.put("/f", size)))
+    env.run(until=env.now + 2)  # drain trailing control messages
+    return env, cluster, deployment, result
+
+
+SYSTEMS = st.sampled_from(["hdfs", "smarth"])
+
+
+@given(
+    system=SYSTEMS,
+    size=st.integers(min_value=1 * KB, max_value=6 * MB),
+    n_datanodes=st.integers(min_value=3, max_value=9),
+    replication=st.integers(min_value=1, max_value=3),
+    packet_kb=st.sampled_from([16, 64, 256]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_upload_invariants(system, size, n_datanodes, replication, packet_kb, seed):
+    """Core invariants for any fault-free upload, either system."""
+    env, cluster, deployment, result = run_upload_with(
+        system, size, n_datanodes, replication, packet_kb, seed
+    )
+    nn = deployment.namenode
+
+    # 1. The file completed and is fully replicated.
+    assert nn.file_fully_replicated("/f")
+    assert result.size == size
+
+    # 2. Every finalized replica holds exactly the block's bytes.
+    inode = nn.namespace.get("/f")
+    assert inode.size == size
+    for block in inode.blocks:
+        info = nn.blocks.info(block.block_id)
+        finalized = [r for r in info.replicas.values() if r.finalized]
+        assert len(finalized) == replication
+        for replica in finalized:
+            assert replica.bytes_confirmed == block.size
+
+    # 3. Byte conservation: datanode disks hold size * replication.
+    disk_bytes = sum(n.disk.bytes_written for n in cluster.datanode_hosts)
+    assert disk_bytes == size * replication
+
+    # 4. The client transmitted the file exactly once (no duplicates,
+    #    no loss) — NIC egress equals the file size.
+    assert cluster.client_host.nic.bytes_sent == size
+
+    # 5. Network conservation: every replica beyond the first travelled
+    #    one inter-datanode hop.
+    dn_sent = sum(n.nic.bytes_sent for n in cluster.datanode_hosts)
+    assert dn_sent == size * (replication - 1)
+
+
+@given(
+    size=st.integers(min_value=3 * MB, max_value=8 * MB),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_smarth_never_slower_than_hdfs_under_throttle(size, seed):
+    """With a throttled boundary, SMARTH wins for any multi-block file.
+
+    (Single-block files are excluded: with nothing to overlap, SMARTH is
+    HDFS plus an FNFA — a few control messages slower, by design.)
+    """
+    durations = {}
+    for system in ("hdfs", "smarth"):
+        _, _, _, result = run_upload_with(
+            system, size, 9, 3, 64, seed, throttle=25
+        )
+        durations[system] = result.duration
+    assert durations["smarth"] <= durations["hdfs"] * 1.02
+
+
+@given(
+    system=SYSTEMS,
+    size=st.integers(min_value=64 * KB, max_value=3 * MB),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_determinism(system, size, seed):
+    """Identical configs produce bit-identical outcomes."""
+    a = run_upload_with(system, size, 6, 3, 64, seed)[3]
+    b = run_upload_with(system, size, 6, 3, 64, seed)[3]
+    assert a.duration == b.duration
+    assert a.pipelines == b.pipelines

@@ -1,0 +1,112 @@
+"""Unit tests and properties for unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+from repro.units import (
+    GB,
+    KB,
+    MB,
+    fmt_rate,
+    fmt_size,
+    fmt_time,
+    gbps,
+    gigabytes,
+    kilobytes,
+    mbps,
+    megabytes,
+    parse_rate,
+    parse_size,
+    to_gigabytes,
+    to_mbps,
+    to_megabytes,
+)
+
+
+class TestConstants:
+    def test_binary_multiples(self):
+        assert KB == 1024
+        assert MB == 1024**2
+        assert GB == 1024**3
+
+    def test_size_constructors(self):
+        assert kilobytes(64) == 64 * KB
+        assert megabytes(64) == 64 * MB
+        assert gigabytes(8) == 8 * GB
+
+    def test_rates_are_decimal_bits(self):
+        assert mbps(8) == 1_000_000  # 8 Mbit/s == 1 MB/s decimal
+        assert gbps(1) == 125_000_000
+
+    def test_roundtrips(self):
+        assert to_mbps(mbps(216)) == pytest.approx(216)
+        assert to_megabytes(megabytes(7)) == pytest.approx(7)
+        assert to_gigabytes(gigabytes(3)) == pytest.approx(3)
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8GB", 8 * GB),
+            ("8 gb", 8 * GB),
+            ("64MB", 64 * MB),
+            ("64k", 64 * KB),
+            ("0.5 MiB", MB // 2),
+            ("123", 123),
+            (123, 123),
+            (1.5, 1),
+        ],
+    )
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "GB8", "8XB", "1.2.3MB"])
+    def test_parse_size_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("216Mbps", mbps(216)),
+            ("1Gbps", gbps(1)),
+            ("100MB/s", 100e6),
+            ("42", 42.0),
+            (42, 42.0),
+        ],
+    )
+    def test_parse_rate(self, text, expected):
+        assert parse_rate(text) == pytest.approx(expected)
+
+    def test_parse_rate_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_rate("fast")
+
+
+class TestFormatting:
+    def test_fmt_size(self):
+        assert fmt_size(8 * GB) == "8.00 GB"
+        assert fmt_size(64 * MB) == "64.00 MB"
+        assert fmt_size(512) == "512 B"
+
+    def test_fmt_rate(self):
+        assert fmt_rate(mbps(216)) == "216.0 Mbps"
+
+    def test_fmt_time(self):
+        assert fmt_time(1.23456) == "1.235 s"
+
+
+@given(st.floats(min_value=0.001, max_value=1e6))
+def test_mbps_roundtrip_property(x):
+    assert to_mbps(mbps(x)) == pytest.approx(x)
+
+
+@given(st.integers(min_value=0, max_value=10**15))
+def test_parse_size_of_fmt_is_close(n):
+    """fmt_size output re-parses to within rounding error."""
+    rendered = fmt_size(n)
+    reparsed = units.parse_size(rendered.replace(" ", ""))
+    assert reparsed == pytest.approx(n, rel=0.01, abs=1)

@@ -1,0 +1,98 @@
+"""Integration tests for concurrent multi-client uploads."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.units import KB, MB
+from repro.workloads import run_concurrent_uploads, run_upload, two_rack
+
+
+def fast_config():
+    return SimulationConfig().with_hdfs(block_size=4 * MB, packet_size=256 * KB)
+
+
+class TestConcurrentUploads:
+    def test_two_clients_both_complete(self):
+        scenario = two_rack("small", n_extra_clients=1)
+        outcome = run_concurrent_uploads(
+            scenario, "hdfs", [16 * MB, 16 * MB], config=fast_config()
+        )
+        assert outcome.fully_replicated
+        assert len(outcome.results) == 2
+        assert all(r.n_blocks == 4 for r in outcome.results)
+
+    def test_smarth_two_clients(self):
+        scenario = two_rack("small", n_extra_clients=1)
+        outcome = run_concurrent_uploads(
+            scenario, "smarth", [16 * MB, 16 * MB], config=fast_config()
+        )
+        assert outcome.fully_replicated
+        # Each client respects its own pipeline cap.
+        assert all(r.max_concurrent_pipelines <= 3 for r in outcome.results)
+
+    def test_contention_slows_each_client(self):
+        """Two concurrent writers are each slower than a solo writer."""
+        solo = run_upload(
+            two_rack("small"), "hdfs", 32 * MB, config=fast_config()
+        )
+        pair = run_concurrent_uploads(
+            two_rack("small", n_extra_clients=1),
+            "hdfs",
+            [32 * MB, 32 * MB],
+            config=fast_config(),
+        )
+        for result in pair.results:
+            assert result.duration > solo.duration * 1.05
+
+    def test_parallelism_beats_serial_makespan(self):
+        """Two concurrent 32 MB uploads finish faster than 2x solo time.
+
+        The datanode fan-out gives real parallelism even though the
+        clients share rack bandwidth.
+        """
+        solo = run_upload(
+            two_rack("small"), "hdfs", 32 * MB, config=fast_config()
+        )
+        pair = run_concurrent_uploads(
+            two_rack("small", n_extra_clients=1),
+            "hdfs",
+            [32 * MB, 32 * MB],
+            config=fast_config(),
+        )
+        assert pair.makespan < solo.duration * 2.0
+
+    def test_staggered_starts(self):
+        scenario = two_rack("small", n_extra_clients=1)
+        outcome = run_concurrent_uploads(
+            scenario,
+            "hdfs",
+            [8 * MB, 8 * MB],
+            config=fast_config(),
+            stagger=5.0,
+        )
+        assert outcome.fully_replicated
+        starts = sorted(r.start for r in outcome.results)
+        assert starts[1] - starts[0] == pytest.approx(5.0, abs=0.1)
+
+    def test_requires_enough_hosts(self):
+        with pytest.raises(ValueError, match="extra client hosts"):
+            run_concurrent_uploads(
+                two_rack("small"), "hdfs", [MB, MB], config=fast_config()
+            )
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent_uploads(two_rack("small"), "hdfs", [])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent_uploads(two_rack("small"), "zfs", [MB])
+
+    def test_aggregate_metrics(self):
+        scenario = two_rack("small", n_extra_clients=2)
+        outcome = run_concurrent_uploads(
+            scenario, "hdfs", [8 * MB] * 3, config=fast_config()
+        )
+        assert outcome.total_bytes == 24 * MB
+        assert outcome.aggregate_throughput > 0
+        assert outcome.makespan >= max(r.duration for r in outcome.results)

@@ -1,0 +1,74 @@
+"""The classic HDFS small-files regime: per-file RPC overhead dominates.
+
+Formula (1)/(2)'s ``T_n⌈D/B⌉`` term plus create/complete RPCs means many
+small files upload far slower than one big file of equal bytes — a
+substrate behaviour worth pinning down because SMARTH does nothing for
+it (its pipelining needs multiple blocks per file).
+"""
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def build(rpc_latency=20e-3, smarth=False):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(
+        block_size=MB, packet_size=64 * KB, namenode_rpc_latency=rpc_latency
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = (
+        SmarthDeployment(cluster, enable_replication_monitor=False)
+        if smarth
+        else HdfsDeployment(cluster, enable_replication_monitor=False)
+    )
+    return env, deployment
+
+
+def upload_n(env, deployment, n_files, each):
+    client = deployment.client()
+    t0 = env.now
+    for i in range(n_files):
+        env.run(until=env.process(client.put(f"/dir/f{i}", each)))
+    return env.now - t0
+
+
+class TestSmallFiles:
+    def test_many_small_slower_than_one_big(self):
+        env_a, dep_a = build()
+        many = upload_n(env_a, dep_a, n_files=16, each=256 * KB)
+        env_b, dep_b = build()
+        one = upload_n(env_b, dep_b, n_files=1, each=16 * 256 * KB)
+        assert many > one * 1.5
+
+    def test_rpc_latency_drives_small_file_cost(self):
+        durations = {}
+        for latency in (1e-3, 50e-3):
+            env, deployment = build(rpc_latency=latency)
+            durations[latency] = upload_n(
+                env, deployment, n_files=10, each=128 * KB
+            )
+        # 10 files x ~3 RPCs x 49 ms ≈ +1.5 s.
+        extra = durations[50e-3] - durations[1e-3]
+        assert extra == pytest.approx(10 * 3 * 49e-3, rel=0.35)
+
+    def test_smarth_does_not_help_small_files(self):
+        """Single-block files leave nothing to pipeline: SMARTH ≈ HDFS."""
+        env_h, dep_h = build()
+        hdfs = upload_n(env_h, dep_h, n_files=8, each=256 * KB)
+        env_s, dep_s = build(smarth=True)
+        smarth = upload_n(env_s, dep_s, n_files=8, each=256 * KB)
+        assert smarth == pytest.approx(hdfs, rel=0.25)
+
+    def test_all_small_files_replicated(self):
+        env, deployment = build()
+        upload_n(env, deployment, n_files=12, each=64 * KB)
+        env.run(until=env.now + 1)
+        nn = deployment.namenode
+        for i in range(12):
+            assert nn.file_fully_replicated(f"/dir/f{i}")

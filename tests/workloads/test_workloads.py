@@ -1,0 +1,133 @@
+"""Integration tests for scenarios, upload workloads and sweeps."""
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.units import KB, MB
+from repro.workloads import (
+    compare,
+    contention,
+    heterogeneous,
+    run_upload,
+    size_sweep,
+    sweep,
+    two_rack,
+)
+
+
+def fast_config():
+    return SimulationConfig().with_hdfs(block_size=4 * MB, packet_size=256 * KB)
+
+
+class TestScenarios:
+    def test_two_rack_builds(self):
+        env, cluster = two_rack("small", throttle_mbps=100).make(fast_config())
+        assert len(cluster.datanode_hosts) == 9
+        assert len(cluster.network.throttles) == 1
+
+    def test_two_rack_default_has_no_throttle(self):
+        _, cluster = two_rack("small").make(fast_config())
+        assert len(cluster.network.throttles) == 0
+
+    def test_contention_marks_slow_nodes(self):
+        _, cluster = contention("small", n_slow=3, slow_mbps=50).make(fast_config())
+        assert len(cluster.network.throttles) == 3
+
+    def test_contention_validates_n_slow(self):
+        with pytest.raises(ValueError):
+            contention("small", n_datanodes=4, n_slow=5)
+
+    def test_heterogeneous_mix(self):
+        _, cluster = heterogeneous().make(fast_config())
+        names = sorted(n.instance.name for n in cluster.datanode_hosts)
+        assert names == ["large"] * 3 + ["medium"] * 3 + ["small"] * 3
+
+    def test_scenarios_are_independent(self):
+        scenario = two_rack("small", throttle_mbps=100)
+        env1, c1 = scenario.make(fast_config())
+        env2, c2 = scenario.make(fast_config())
+        assert env1 is not env2
+        assert c1.datanode_hosts[0] is not c2.datanode_hosts[0]
+
+
+class TestRunUpload:
+    def test_hdfs_upload(self):
+        outcome = run_upload(
+            two_rack("small"), "hdfs", 8 * MB, config=fast_config()
+        )
+        assert outcome.fully_replicated
+        assert outcome.system == "hdfs"
+        assert outcome.result.n_blocks == 2
+
+    def test_smarth_upload(self):
+        outcome = run_upload(
+            two_rack("small"), "smarth", 8 * MB, config=fast_config()
+        )
+        assert outcome.fully_replicated
+        assert outcome.system == "smarth"
+
+    def test_size_strings_accepted(self):
+        outcome = run_upload(
+            two_rack("small"), "hdfs", "8MB", config=fast_config()
+        )
+        assert outcome.result.size == 8 * MB
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_upload(two_rack("small"), "nfs", MB)
+
+    def test_fault_hook_applied(self):
+        def hook(injector):
+            injector.kill_busy_at(at=0.05)
+
+        outcome = run_upload(
+            two_rack("small"),
+            "hdfs",
+            16 * MB,
+            config=fast_config(),
+            fault_hook=hook,
+        )
+        assert outcome.injected_faults
+        assert outcome.fully_replicated
+        assert outcome.result.recoveries >= 1
+
+    def test_compare_returns_improvement(self):
+        hdfs, smarth, improvement = compare(
+            two_rack("small", throttle_mbps=50), 24 * MB, config=fast_config()
+        )
+        assert hdfs.system == "hdfs"
+        assert smarth.system == "smarth"
+        assert improvement == pytest.approx(
+            (hdfs.duration / smarth.duration - 1) * 100
+        )
+        assert improvement > 0
+
+
+class TestSweeps:
+    def test_throttle_sweep_rows(self):
+        rows = sweep(
+            scenario_for=lambda t: two_rack("small", throttle_mbps=t),
+            xs=[50, 150],
+            size=16 * MB,
+            config=fast_config(),
+            label_for=lambda t: f"{t}Mbps",
+        )
+        assert [r.label for r in rows] == ["50Mbps", "150Mbps"]
+        assert rows[0].hdfs_seconds > rows[1].hdfs_seconds
+
+    def test_size_sweep_monotone(self):
+        rows = size_sweep(
+            two_rack("small"), [8 * MB, 16 * MB, 32 * MB], config=fast_config()
+        )
+        times = [r.hdfs_seconds for r in rows]
+        assert times == sorted(times)
+
+    def test_sweep_improvement_ordering_under_throttle(self):
+        """The Figure 9 trend on a scaled-down workload."""
+        rows = sweep(
+            scenario_for=lambda t: two_rack("small", throttle_mbps=t),
+            xs=[25, 150],
+            size=48 * MB,
+            config=fast_config(),
+        )
+        assert rows[0].improvement > rows[1].improvement
