@@ -1,0 +1,76 @@
+"""Kernel microbenchmark: raw event throughput of the simulation core.
+
+Not a paper figure — this measures the discrete-event engine itself so
+perf work on the hot loop (the analytic channel fast path, the sync
+store completions) has a number to move.  The workload exercises the
+primitives the packet pipeline leans on: timeouts, analytic channel
+transfers, and store put/get handoffs between producer/consumer pairs.
+
+Writes events/sec to ``benchmarks/results/kernel.txt`` and attaches it
+to pytest-benchmark's ``extra_info``.
+"""
+
+import time
+
+from repro.sim import (
+    Channel,
+    Environment,
+    ProcessGenerator,
+    Store,
+    total_events_processed,
+)
+
+#: Concurrent producer/consumer pairs; enough to keep the heap non-trivial.
+PAIRS = 20
+#: Transfers each producer pushes through its channel.
+TRANSFERS = 2_000
+
+
+def _producer(env: Environment, channel: Channel, queue: Store) -> ProcessGenerator:
+    for seq in range(TRANSFERS):
+        end = channel.quote(size=64 * 1024, rate=100e6)
+        yield env.timeout_at(end)
+        yield queue.put(seq)
+
+
+def _consumer(env: Environment, queue: Store) -> ProcessGenerator:
+    for _ in range(TRANSFERS):
+        yield queue.get()
+        yield env.timeout(1e-6)
+
+
+def _run_kernel_workload() -> Environment:
+    env = Environment()
+    for i in range(PAIRS):
+        channel = Channel(env, name=f"ch{i}")
+        queue: Store = Store(env, capacity=64)
+        env.process(_producer(env, channel, queue), name=f"prod{i}")
+        env.process(_consumer(env, queue), name=f"cons{i}")
+    env.run()
+    return env
+
+
+def test_kernel_throughput(benchmark, results_dir):
+    events_before = total_events_processed()
+    wall_start = time.perf_counter()
+    env = benchmark.pedantic(_run_kernel_workload, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - wall_start
+    events = total_events_processed() - events_before
+    events_per_sec = round(events / elapsed) if elapsed > 0 else 0
+
+    text = (
+        "kernel microbenchmark\n"
+        f"pairs            : {PAIRS}\n"
+        f"transfers/pair   : {TRANSFERS}\n"
+        f"heap events      : {events}\n"
+        f"wall seconds     : {elapsed:.3f}\n"
+        f"events_per_sec   : {events_per_sec}\n"
+    )
+    print("\n" + text)
+    (results_dir / "kernel.txt").write_text(text)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+
+    # Sanity: the workload actually ran to completion.
+    assert env.events_processed > PAIRS * TRANSFERS
+    assert events >= env.events_processed

@@ -19,8 +19,11 @@ from __future__ import annotations
 
 import os
 import pathlib
+import time
 
 import pytest
+
+from repro.sim import total_events_processed
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -41,10 +44,20 @@ def results_dir() -> pathlib.Path:
 
 
 def run_experiment(benchmark, results_dir, driver, **kwargs):
-    """Run one experiment driver under pytest-benchmark and report it."""
+    """Run one experiment driver under pytest-benchmark and report it.
+
+    Besides the experiment's own headline numbers, reports kernel
+    throughput (simulation events processed per wall-clock second) so
+    perf regressions in the event loop show up in ``extra_info`` even
+    when the simulated results are unchanged.
+    """
+    events_before = total_events_processed()
+    wall_start = time.perf_counter()
     result = benchmark.pedantic(
         lambda: driver(**kwargs), rounds=1, iterations=1
     )
+    elapsed = time.perf_counter() - wall_start
+    events = total_events_processed() - events_before
     text = result.to_text()
     print("\n" + text)
     (results_dir / f"{result.experiment_id}.txt").write_text(text + "\n")
@@ -53,4 +66,8 @@ def run_experiment(benchmark, results_dir, driver, **kwargs):
         k: str(v) for k, v in result.measured.items()
     }
     benchmark.extra_info["paper"] = result.paper_claim.get("claim", "")
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = (
+        round(events / elapsed) if elapsed > 0 else 0
+    )
     return result

@@ -14,7 +14,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .experiments import ALL_EXPERIMENTS, experiment_config
+from .experiments import ALL_EXPERIMENTS, experiment_config, run_all
 from .hdfs import HdfsDeployment, HdfsReader
 from .smarth import SmarthDeployment
 from .units import fmt_rate, fmt_size, fmt_time, parse_size
@@ -22,6 +22,13 @@ from .workloads import compare, contention, heterogeneous, run_upload, two_rack
 from .workloads.scenarios import Scenario
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _scenario_from_args(args: argparse.Namespace) -> Scenario:
@@ -105,6 +112,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="file-size scale factor vs the paper's 8 GB points "
         "(default 0.25)",
     )
+    exp.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="run experiments in a pool of N worker processes "
+        "(results are identical to --jobs 1; default 1)",
+    )
 
     sub.add_parser("scenarios", help="list built-in scenarios")
     return parser
@@ -170,9 +185,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     ids = sorted(ALL_EXPERIMENTS) if args.id == "all" else [args.id]
-    for exp_id in ids:
-        driver = ALL_EXPERIMENTS[exp_id]
-        result = driver() if exp_id == "table1" else driver(scale=args.scale)
+    results = run_all(scale=args.scale, only=ids, jobs=args.jobs)
+    for result in results:
         print(result.to_text())
         print()
     return 0

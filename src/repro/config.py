@@ -36,6 +36,16 @@ class NetworkConfig:
     control_latency: float = 200e-6
     #: Per-hop TCP/stream connection setup cost when building a pipeline.
     connection_setup: float = 1e-3
+    #: When True, a throttle-rule change re-quotes *in-flight* channel
+    #: reservations (tc re-clocks the shaped class's queued frames).  The
+    #: default False keeps the historical semantics: in-flight packets
+    #: finish at the rate they started with; only later packets see the
+    #: new rate.
+    requote_in_flight: bool = False
+    #: When True, :class:`~repro.net.stats.FlowStats` retains every
+    #: per-packet FlowSample (unbounded memory — test/debug only).  The
+    #: default aggregates per (src, dst) pair in O(pairs) memory.
+    keep_flow_samples: bool = False
 
     def __post_init__(self) -> None:
         if self.link_latency < 0 or self.control_latency < 0:

@@ -4,6 +4,20 @@ Supports killing a named datanode at a fixed simulated time, killing
 "whichever datanode is busy" (useful because placement is randomized), and
 reviving nodes later.  All injections are plain simulation processes, so
 they compose with any workload.
+
+Interplay with the analytic channel model: NIC/disk occupancy is a
+``busy_until`` quote committed when a transfer starts
+(:class:`repro.sim.Channel`), so a throttle injected mid-run changes the
+rate seen by transfers that *start* after it — in-flight quotes are
+immutable by default, matching the historical semantics.  Deployments
+that opt into ``NetworkConfig.requote_in_flight`` hold preemptible
+reservations instead; the throttle-table change then triggers
+:meth:`Channel.preempt`, which re-quotes the in-flight reservations
+(bytes already clocked out stay at the old rate, the remainder moves to
+the new one).  Datanode kills are unaffected either way: a kill
+interrupts the receiver processes, and any quote already committed just
+leaves the channel busy for the doomed transfer's duration — exactly the
+wire time the bytes actually occupied before the socket reset.
 """
 
 from __future__ import annotations
@@ -86,9 +100,12 @@ class FaultInjector:
         """Degrade one datanode's bandwidth at time ``at`` (§III-C's
         'network status varies all the time').
 
-        Effective rates are evaluated per transfer, so in-flight packets
-        finish at the old rate and everything after sees the new one —
-        like a tenant suddenly saturating the NIC.
+        Effective rates are evaluated per transfer, so by default
+        in-flight packets finish at the old rate and everything after
+        sees the new one — like a tenant suddenly saturating the NIC.
+        With ``NetworkConfig.requote_in_flight`` the rule change also
+        re-quotes in-flight channel reservations (tc re-clocks queued
+        frames of the shaped class).
         """
         from ..net.throttle import NodeThrottle
         from ..units import mbps

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ...cluster.node import Node
-from ...sim import ProcessGenerator, Store
+from ...sim import ProcessGenerator, Store, race
 from ..deployment import HdfsDeployment, PipelineHandle
 from ..protocol import Block, Packet, WriteResult
 from .output_stream import DATA_QUEUE_PACKETS, plan_file, producer
@@ -163,7 +163,10 @@ class HdfsClient:
             send = self.env.process(
                 self._send_packet(handle, packet), name=f"send:{seq}"
             )
-            yield send | handle.error
+            # race() instead of `send | handle.error`: one of these waits
+            # happens per packet, and the error event is untriggered on
+            # every healthy run — no Condition allocation for it.
+            yield race(self.env, send, handle.error)
             if handle.error.triggered:
                 if send.is_alive:
                     send.interrupt("pipeline failed")
@@ -172,7 +175,7 @@ class HdfsClient:
             responder.packet_sent(packet)
 
         # §II step 4/5: block boundary — wait for every packet's ACK.
-        yield responder.block_done | handle.error
+        yield race(self.env, responder.block_done, handle.error)
         if not responder.block_done.triggered:
             self._note_acked(responder, acked_seqs, to_send)
             return handle.error.value

@@ -84,7 +84,9 @@ def producer(
     """
     for plan in plans:
         for seq, psize in enumerate(plan.packet_sizes):
-            yield env.process(client_node.produce(psize))
+            # Inlined (no process spawn): production is one timeout and
+            # this runs once per packet.
+            yield from client_node.produce(psize)
             yield data_queue.put(
                 ChunkSpec(
                     block_index=plan.index,

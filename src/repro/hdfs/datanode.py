@@ -101,7 +101,7 @@ class BlockReceiver:
         #: ACKs arriving from the downstream receiver (None for the tail).
         self.downstream_acks: Store = Store(self.env)
 
-        self._write_done: dict[int, Process] = {}
+        self._write_done: dict[int, Event] = {}
         self._writes_announced: Store = Store(self.env)
         #: Bytes of this block already durable locally before this receiver
         #: opened (non-zero only when a pipeline is rebuilt by recovery).
@@ -155,9 +155,7 @@ class BlockReceiver:
         """
         yield self._buffer_tokens.put(packet.seq)
         self.max_buffered = max(self.max_buffered, len(self._buffer_tokens))
-        yield self.env.process(
-            self.datanode.network.transfer(src_node, self.host, packet.size)
-        )
+        yield from self.datanode.network.transfer(src_node, self.host, packet.size)
         yield self.inbox.put(packet)
 
     def abort(self, failed_datanode: str | None = None) -> None:
@@ -193,10 +191,9 @@ class BlockReceiver:
                     return
                 self._bytes_received += packet.size
 
-                write = self.env.process(
-                    self.datanode.node.disk.write(packet.size),
-                    name=f"wr:{self.name}:b{self.block.block_id}:{packet.seq}",
-                )
+                # Analytic disk write: commit the occupancy now, keep the
+                # completion event so the ACK relay can await durability.
+                write = self.datanode.node.disk.write_event(packet.size)
                 self._write_done[packet.seq] = write
                 yield self._writes_announced.put(packet)
                 yield self._forward_queue.put(packet)
@@ -230,14 +227,14 @@ class BlockReceiver:
         except Interrupt:
             return
 
-    def _local_finalize(self, last_write: Process) -> ProcessGenerator:
+    def _local_finalize(self, last_write: Event) -> ProcessGenerator:
         """All packets received: store complete → FNFA + blockReceived.
 
         Runs as its own process so it does **not** wait for downstream
         ACKs — the whole point of SMARTH's FNFA.
         """
         try:
-            if last_write.is_alive:
+            if not last_write.processed:
                 yield last_write
             self._finalized = True
             if self.datanode.namenode is not None:
@@ -250,10 +247,8 @@ class BlockReceiver:
                     fnfa=self.fnfa_out is not None,
                 )
             if self.fnfa_out is not None and self.client_node is not None:
-                yield self.env.process(
-                    self.datanode.network.send_control(
-                        self.datanode.node, self.client_node
-                    )
+                yield from self.datanode.network.send_control(
+                    self.datanode.node, self.client_node
                 )
                 yield self.fnfa_out.put(
                     FNFA(
@@ -280,15 +275,17 @@ class BlockReceiver:
                         filter=lambda a, s=packet.seq: a.seq == s
                     )
                 write = self._write_done[packet.seq]
-                if write.is_alive:
+                if not write.processed:
                     yield write
                 del self._write_done[packet.seq]
                 if self.downstream is None:
                     # Tail node: the packet leaves memory once written.
                     yield self._buffer_tokens.get()
 
-                yield self.env.process(
-                    network.send_control(self.datanode.node, self.upstream_node)
+                # Inlined (no process spawn): this runs once per packet per
+                # pipeline hop, and a control send is only a latency wait.
+                yield from network.send_control(
+                    self.datanode.node, self.upstream_node
                 )
                 yield self.ack_out.put(
                     Ack(block_id=self.block.block_id, seq=packet.seq, ok=True)
@@ -348,9 +345,7 @@ class Datanode:
                 yield self.env.timeout(interval)
                 if not self.node.alive:
                     return
-                yield self.env.process(
-                    self.network.send_control(self.node, self.namenode.node)
-                )
+                yield from self.network.send_control(self.node, self.namenode.node)
                 self.namenode.datanode_heartbeat(self.name)
         except Interrupt:
             return
@@ -372,9 +367,7 @@ class Datanode:
         """Send blockReceived to the namenode (control message)."""
         if self.namenode is None or not self.node.alive:
             return
-        yield self.env.process(
-            self.network.send_control(self.node, self.namenode.node)
-        )
+        yield from self.network.send_control(self.node, self.namenode.node)
         self.namenode.block_received(block.block_id, self.name, size)
 
     # -- pipeline participation ------------------------------------------------

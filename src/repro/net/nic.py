@@ -12,7 +12,7 @@ pipelines keep it busy.
 
 from __future__ import annotations
 
-from ..sim import Environment, ProcessGenerator, Resource
+from ..sim import Channel, Environment, ProcessGenerator
 
 __all__ = ["NIC"]
 
@@ -38,10 +38,12 @@ class NIC:
         self.rate = float(rate)
         self.name = name
         #: Serializing transmit channel: one frame on the wire at a time.
-        self.egress = Resource(env, capacity=1)
+        self.egress = Channel(env, name=f"{name}:tx")
         #: Serializing receive channel.
-        self.ingress = Resource(env, capacity=1)
-        #: Lifetime byte counters (for throughput accounting).
+        self.ingress = Channel(env, name=f"{name}:rx")
+        #: Lifetime byte counters (for throughput accounting).  Updated
+        #: when an occupancy is *committed* (analytic model), so mid-run
+        #: reads include bytes whose quoted completion lies in the future.
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -53,17 +55,15 @@ class NIC:
         sender clocks packets out at the shaped rate, so a slow destination
         occupies the sender for longer.
         """
-        with self.egress.request() as grant:
-            yield grant
-            yield self.env.timeout(size / rate)
-            self.bytes_sent += size
+        end = self.egress.quote(size, rate)
+        self.bytes_sent += size
+        yield self.env.timeout_at(end)
 
     def occupy_ingress(self, size: int, rate: float) -> ProcessGenerator:
         """Hold the receive channel for ``size / rate`` seconds."""
-        with self.ingress.request() as grant:
-            yield grant
-            yield self.env.timeout(size / rate)
-            self.bytes_received += size
+        end = self.ingress.quote(size, rate)
+        self.bytes_received += size
+        yield self.env.timeout_at(end)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NIC {self.name} rate={self.rate:.0f} B/s>"

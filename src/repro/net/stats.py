@@ -3,12 +3,17 @@
 The SMARTH client needs measured transfer speeds per first-datanode
 (§III-B); the experiment harness needs end-to-end throughput.  Both read
 from :class:`FlowStats` records collected by the transport layer.
+
+By default :class:`FlowStats` *aggregates*: each (src, dst) pair keeps
+byte/time/count accumulators, so memory is O(node pairs) no matter how
+many packets fly — an 8 GB upload is over a million transfers, and
+retaining a FlowSample for each grew without bound.  Tests and debugging
+can opt back into full retention with ``keep_samples=True``.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["FlowSample", "FlowStats"]
 
@@ -33,38 +38,54 @@ class FlowSample:
         return self.size / self.duration if self.duration > 0 else 0.0
 
 
-@dataclass
 class FlowStats:
-    """Accumulates :class:`FlowSample` records grouped by node pair."""
+    """Accumulates transfer statistics grouped by (src, dst) node pair.
 
-    samples: list[FlowSample] = field(default_factory=list)
-    _by_pair: dict[tuple[str, str], list[FlowSample]] = field(
-        default_factory=lambda: defaultdict(list)
-    )
+    Aggregating by default; pass ``keep_samples=True`` to also retain
+    every :class:`FlowSample` (unbounded memory — opt-in for tests).
+    """
+
+    def __init__(self, keep_samples: bool = False):
+        self.keep_samples = keep_samples
+        self._samples: list[FlowSample] = []
+        #: (src, dst) -> [total_bytes, total_duration, count]
+        self._agg: dict[tuple[str, str], list] = {}
+        self._count = 0
+
+    @property
+    def samples(self) -> list[FlowSample]:
+        """Retained samples (empty unless ``keep_samples`` was set)."""
+        return self._samples
 
     def record(self, sample: FlowSample) -> None:
-        self.samples.append(sample)
-        self._by_pair[(sample.src, sample.dst)].append(sample)
+        acc = self._agg.get((sample.src, sample.dst))
+        if acc is None:
+            acc = self._agg[(sample.src, sample.dst)] = [0, 0.0, 0]
+        acc[0] += sample.size
+        acc[1] += sample.end - sample.start
+        acc[2] += 1
+        self._count += 1
+        if self.keep_samples:
+            self._samples.append(sample)
 
     def total_bytes(self, src: str | None = None, dst: str | None = None) -> int:
         """Total bytes over flows matching the given endpoints (None = any)."""
         return sum(
-            s.size
-            for s in self.samples
-            if (src is None or s.src == src) and (dst is None or s.dst == dst)
+            acc[0]
+            for (s, d), acc in self._agg.items()
+            if (src is None or s == src) and (dst is None or d == dst)
         )
 
     def mean_rate(self, src: str, dst: str) -> float:
         """Average observed rate between a pair, 0.0 if never measured."""
-        flows = self._by_pair.get((src, dst), [])
-        if not flows:
+        acc = self._agg.get((src, dst))
+        if acc is None:
             return 0.0
-        total_bytes = sum(s.size for s in flows)
-        total_time = sum(s.duration for s in flows)
+        total_bytes, total_time, _ = acc
         return total_bytes / total_time if total_time > 0 else 0.0
 
     def pairs(self) -> tuple[tuple[str, str], ...]:
-        return tuple(sorted(self._by_pair))
+        return tuple(sorted(self._agg))
 
     def __len__(self) -> int:
-        return len(self.samples)
+        return self._count

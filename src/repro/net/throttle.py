@@ -78,17 +78,34 @@ class RackBoundaryThrottle(ThrottleRule):
 
 
 class ThrottleTable:
-    """The set of active throttle rules for a cluster."""
+    """The set of active throttle rules for a cluster.
+
+    Listeners subscribed via :meth:`subscribe` are called after every rule
+    change; the :class:`~repro.net.transport.Network` uses this to re-quote
+    in-flight channel reservations when ``tc`` rules change mid-run (only
+    when ``NetworkConfig.requote_in_flight`` opts in — the default keeps
+    in-flight packets at the rate they started with).
+    """
 
     def __init__(self, rules: list[ThrottleRule] | None = None):
         self._rules: list[ThrottleRule] = list(rules or [])
+        self._listeners: list[Callable[["ThrottleTable"], None]] = []
 
     @property
     def rules(self) -> tuple[ThrottleRule, ...]:
         return tuple(self._rules)
 
+    def subscribe(self, listener: Callable[["ThrottleTable"], None]) -> None:
+        """Call ``listener(table)`` after every add/remove of a rule."""
+        self._listeners.append(listener)
+
+    def _notify(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
     def add(self, rule: ThrottleRule) -> "ThrottleTable":
         self._rules.append(rule)
+        self._notify()
         return self
 
     def remove_matching(self, predicate: Callable[[ThrottleRule], bool]) -> int:
@@ -96,6 +113,8 @@ class ThrottleTable:
         kept = [r for r in self._rules if not predicate(r)]
         removed = len(self._rules) - len(kept)
         self._rules = kept
+        if removed:
+            self._notify()
         return removed
 
     def effective_rate(self, src: "Node", dst: "Node") -> float:

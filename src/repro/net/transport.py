@@ -45,7 +45,11 @@ class Network:
         self.topology = topology
         self.throttles = throttles if throttles is not None else ThrottleTable()
         self.config = config if config is not None else NetworkConfig()
-        self.stats = FlowStats()
+        self.stats = FlowStats(keep_samples=self.config.keep_flow_samples)
+        #: Channels holding preemptible reservations (requote mode only).
+        self._preemptible_channels: set = set()
+        if self.config.requote_in_flight:
+            self.throttles.subscribe(self._requote_in_flight)
 
     def effective_rate(self, src: "Node", dst: "Node") -> float:
         """Current shaped rate between two nodes, bytes/second."""
@@ -57,6 +61,14 @@ class Network:
         Completes when the last byte has *arrived* at ``dst``.  Yields the
         flow's :class:`FlowSample` as the process return value so callers
         can feed SMARTH's speed records.
+
+        Fast path: both NIC channels are FIFO, so the occupancy is quoted
+        analytically (``max(now, busy_until) + size/rate`` per channel) and
+        the whole transfer is a single absolute-time timeout — no spawned
+        egress/ingress processes, no AllOf barrier, no request/release
+        pairs.  With ``NetworkConfig.requote_in_flight`` the transfer
+        instead holds preemptible reservations so ``tc`` rule changes can
+        re-quote it mid-flight.
         """
         if size < 0:
             raise ValueError(f"transfer size must be non-negative, got {size}")
@@ -67,19 +79,37 @@ class Network:
             yield self.env.timeout(0)
         else:
             rate = self.effective_rate(src, dst)
-            egress = self.env.process(
-                src.nic.occupy_egress(size, rate), name=f"tx:{src.name}->{dst.name}"
-            )
-            ingress = self.env.process(
-                dst.nic.occupy_ingress(size, rate), name=f"rx:{src.name}->{dst.name}"
-            )
-            yield self.env.all_of([egress, ingress])
-            yield self.env.timeout(self.config.link_latency)
+            egress, ingress = src.nic.egress, dst.nic.ingress
+            if self.config.requote_in_flight:
+                e_res = egress.reserve(size, rate, preemptible=True, tag=(src, dst))
+                i_res = ingress.reserve(size, rate, preemptible=True, tag=(src, dst))
+                self._preemptible_channels.add(egress)
+                self._preemptible_channels.add(ingress)
+                yield self.env.all_of([e_res, i_res])
+                yield self.env.timeout(self.config.link_latency)
+            else:
+                e_end = egress.quote(size, rate)
+                i_end = ingress.quote(size, rate)
+                done = (e_end if e_end > i_end else i_end) + self.config.link_latency
+                yield self.env.timeout_at(done)
+            src.nic.bytes_sent += size
+            dst.nic.bytes_received += size
         sample = FlowSample(
             src=src.name, dst=dst.name, size=size, start=start, end=self.env.now
         )
         self.stats.record(sample)
         return sample
+
+    def _requote_in_flight(self, _table: ThrottleTable) -> None:
+        """Preemption hook: throttle rules changed, re-quote live flows."""
+        stale = []
+        for channel in self._preemptible_channels:
+            channel.preempt(
+                lambda res: self.effective_rate(*res.tag) if res.tag else None
+            )
+            if not channel._in_flight:
+                stale.append(channel)
+        self._preemptible_channels.difference_update(stale)
 
     def send_control(self, src: "Node", dst: "Node") -> ProcessGenerator:
         """Deliver a latency-only control message from ``src`` to ``dst``."""

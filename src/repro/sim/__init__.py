@@ -6,24 +6,37 @@ event queue, with counted resources and FIFO stores as the concurrency
 primitives.  See :class:`Environment` for the entry point.
 """
 
-from .environment import Environment
+from .environment import Environment, total_events_processed
 from .errors import EmptySchedule, Interrupt, SimulationError
-from .events import AllOf, AnyOf, Condition, Event, Timeout
+from .events import AllOf, AnyOf, Condition, Event, Timeout, race
 from .process import Process, ProcessGenerator
-from .resources import Release, Request, Resource, Store, StoreGet, StorePut
+from .resources import (
+    Channel,
+    Release,
+    Request,
+    Reservation,
+    Resource,
+    Store,
+    StoreGet,
+    StorePut,
+)
 
 __all__ = [
     "Environment",
+    "total_events_processed",
     "Event",
     "Timeout",
     "Condition",
     "AllOf",
     "AnyOf",
+    "race",
     "Process",
     "ProcessGenerator",
     "Interrupt",
     "SimulationError",
     "EmptySchedule",
+    "Channel",
+    "Reservation",
     "Resource",
     "Request",
     "Release",

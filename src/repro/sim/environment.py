@@ -10,7 +10,16 @@ from .errors import EmptySchedule, StopSimulation
 from .events import AllOf, AnyOf, Event, Timeout
 from .process import Process, ProcessGenerator
 
-__all__ = ["Environment", "NORMAL", "URGENT"]
+__all__ = ["Environment", "NORMAL", "URGENT", "total_events_processed"]
+
+#: Process-wide count of events processed across every Environment — the
+#: kernel-throughput counter the benchmark harness turns into events/sec.
+_TOTAL_EVENTS = 0
+
+
+def total_events_processed() -> int:
+    """Events processed by all environments in this process so far."""
+    return _TOTAL_EVENTS
 
 #: Priority for interrupt-style events that must run before normal ones
 #: scheduled at the same instant.
@@ -33,6 +42,8 @@ class Environment:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Process | None = None
+        #: Events processed by this environment (kernel-throughput metric).
+        self.events_processed = 0
 
     # -- introspection -----------------------------------------------------
     @property
@@ -61,6 +72,25 @@ class Environment:
         """Create an event that fires after ``delay`` simulated seconds."""
         return Timeout(self, delay, value)
 
+    def timeout_at(self, when: float, value: Any = None) -> Event:
+        """Create an event that fires at the *absolute* time ``when``.
+
+        Unlike ``timeout(when - now)``, the event's heap timestamp is
+        exactly ``when`` — no ``now + (when - now)`` float round-trip.
+        The analytic :class:`~repro.sim.resources.Channel` path relies on
+        this to complete transfers at bit-identical times to the FIFO
+        :class:`~repro.sim.resources.Resource` model it replaced.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"timeout_at({when}) lies in the past (now={self._now})"
+            )
+        event = Event(self)
+        event._ok = True
+        event._value = value
+        self.schedule_at(event, when)
+        return event
+
     def process(
         self, generator: ProcessGenerator, name: str | None = None
     ) -> Process:
@@ -88,12 +118,24 @@ class Environment:
             self._queue, (self._now + delay, priority, next(self._eid), event)
         )
 
+    def schedule_at(
+        self, event: Event, when: float, priority: int = NORMAL
+    ) -> None:
+        """Queue ``event`` for processing at the absolute time ``when``."""
+        heapq.heappush(
+            self._queue, (when, priority, next(self._eid), event)
+        )
+
     def step(self) -> None:
         """Process exactly one event, advancing the clock to its time."""
         try:
             self._now, _, _, event = heapq.heappop(self._queue)
         except IndexError:
             raise EmptySchedule("no scheduled events remain") from None
+
+        self.events_processed += 1
+        global _TOTAL_EVENTS
+        _TOTAL_EVENTS += 1
 
         callbacks, event.callbacks = event.callbacks, None
         assert callbacks is not None, "event processed twice"

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .environment import Environment
 
-__all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf"]
+__all__ = ["PENDING", "Event", "Timeout", "Condition", "AllOf", "AnyOf", "race"]
 
 
 class _Pending:
@@ -103,6 +103,24 @@ class Event:
         self._ok = False
         self._value = exception
         self.env.schedule(self)
+        return self
+
+    def _succeed_sync(self, value: Any = None) -> "Event":
+        """Succeed *and process* the event without entering the queue.
+
+        Only valid while nothing has subscribed (``callbacks`` empty):
+        there is no waiter to resume, so the heap round-trip would only
+        delay the creating process's continuation to later in the same
+        timestamp.  Used by resources for immediately-satisfiable
+        requests — a ``yield`` on the returned event resumes synchronously
+        (see ``Process._resume``).
+        """
+        assert not self.callbacks, "cannot sync-succeed a subscribed event"
+        if self.triggered:
+            raise RuntimeError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.callbacks = None
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -225,3 +243,41 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable["Event"]):
         super().__init__(env, Condition.any_events, events)
+
+
+class _Race(Event):
+    """Minimal first-of-N event: no constituent list, no value dict."""
+
+    __slots__ = ()
+
+    def _on(self, event: "Event") -> None:
+        if self.triggered:
+            if not event._ok:
+                event.defuse()
+            return
+        if event._ok:
+            self.succeed(event)
+        else:
+            event.defuse()
+            self.fail(event._value)
+
+
+def race(env: "Environment", *events: "Event") -> "Event":
+    """First-of-N wait without a :class:`Condition` allocation.
+
+    The write clients yield one ``send | handle.error`` per packet; at a
+    million packets per experiment the Condition's event list, fired list
+    and value dict dominate allocation churn for a value nobody reads.
+    ``race`` fires with the first-fired *event* as its value, propagates a
+    constituent failure the same way Condition does, and — when some event
+    has already been processed — returns that event directly, allocating
+    nothing and subscribing to nothing.
+    """
+    for event in events:
+        if event.processed:
+            return event
+    waiter = _Race(env)
+    for event in events:
+        assert event.callbacks is not None
+        event.callbacks.append(waiter._on)
+    return waiter

@@ -1,10 +1,14 @@
-"""Shared resources for processes: counted resources and FIFO stores.
+"""Shared resources for processes: channels, counted resources, FIFO stores.
 
-Two primitives cover everything the HDFS/SMARTH models need:
+Three primitives cover everything the HDFS/SMARTH models need:
 
+* :class:`Channel` — a serializing FIFO link modelled *analytically*: a
+  ``busy_until`` timestamp instead of a grant/hold/release event chain.
+  Each transfer's completion time is computed in O(1), so occupying a NIC
+  or disk channel costs one heap event instead of a spawned process with a
+  request/release pair.  Used for NIC egress/ingress and disk channels.
 * :class:`Resource` — ``capacity`` concurrent holders, FIFO queuing.  Used
-  for NIC transmit channels, disk write channels and namenode RPC handler
-  slots; queueing at these resources is what produces bandwidth sharing.
+  for namenode RPC handler slots and SMARTH pipeline slots.
 * :class:`Store` — an optionally-bounded FIFO buffer of items.  Used for
   the client data queue, per-pipeline ACK queues and datanode forwarding
   buffers (where the bound models the 64 MB first-datanode buffer).
@@ -13,14 +17,223 @@ Two primitives cover everything the HDFS/SMARTH models need:
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Generic, TypeVar
+from typing import Any, Callable, Deque, Generic, Optional, TypeVar
 
 from .environment import Environment
 from .events import Event
 
-__all__ = ["Request", "Release", "Resource", "Store", "StorePut", "StoreGet"]
+__all__ = [
+    "Channel",
+    "Reservation",
+    "Request",
+    "Release",
+    "Resource",
+    "Store",
+    "StorePut",
+    "StoreGet",
+]
 
 T = TypeVar("T")
+
+
+class Reservation(Event):
+    """One committed occupancy of a :class:`Channel`.
+
+    Fires (with itself as value) when the last byte leaves the channel.
+    ``start``/``end`` are the occupancy interval quoted at creation time;
+    :meth:`Channel.preempt` may move them for preemptible reservations.
+    """
+
+    __slots__ = ("channel", "size", "rate", "start", "end", "tag", "_epoch")
+
+    def __init__(
+        self,
+        channel: "Channel",
+        size: float,
+        rate: float,
+        start: float,
+        end: float,
+        tag: Any = None,
+    ):
+        super().__init__(channel.env)
+        self.channel = channel
+        self.size = size
+        self.rate = rate
+        self.start = start
+        self.end = end
+        self.tag = tag
+        self._epoch = 0
+
+
+class Channel:
+    """A serializing FIFO link with analytic occupancy accounting.
+
+    Equivalent to a capacity-1 FIFO :class:`Resource` held for
+    ``size / rate`` per transfer, but closed-form: a transfer arriving at
+    ``now`` starts at ``max(now, busy_until)`` and completes ``size/rate``
+    later — exactly the grant time the FIFO queue would have produced,
+    computed without enacting the queue event-by-event.
+
+    Two entry points:
+
+    * :meth:`quote` — commit an occupancy and return its completion time
+      as a float.  Nothing is scheduled; the caller owns the wait.  This
+      is the transport fast path (one timeout per transfer).
+    * :meth:`reserve` — commit an occupancy and return a
+      :class:`Reservation` event firing at completion.  Pass
+      ``preemptible=True`` to allow :meth:`preempt` to re-quote it while
+      in flight (``tc``-style mid-transfer rate changes).
+    """
+
+    __slots__ = ("env", "name", "_busy_until", "_in_flight")
+
+    def __init__(self, env: Environment, name: str = "channel"):
+        self.env = env
+        self.name = name
+        self._busy_until = 0.0
+        #: Live reservations, FIFO by start time; pruned lazily.
+        self._in_flight: Deque[Reservation] = deque()
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the channel next falls idle (may be the past)."""
+        return self._busy_until
+
+    @property
+    def busy(self) -> bool:
+        return self._busy_until > self.env.now
+
+    @property
+    def queue_len(self) -> int:
+        """Reservations quoted but not yet transmitting.
+
+        Only event-based reservations (:meth:`reserve`) are tracked;
+        :meth:`quote` occupancies are fire-and-forget.
+        """
+        self._prune()
+        now = self.env.now
+        return sum(1 for r in self._in_flight if r.start > now)
+
+    def quote(self, size: float, rate: float) -> float:
+        """Commit ``size`` bytes at ``rate`` B/s; return the completion time.
+
+        O(1): ``completion = max(now, busy_until) + size / rate``.  The
+        occupancy is immutable — callers that need re-quoting on rate
+        changes must use :meth:`reserve` with ``preemptible=True``.
+        """
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        now = self.env.now
+        start = self._busy_until if self._busy_until > now else now
+        end = start + size / rate
+        self._busy_until = end
+        return end
+
+    def reserve(
+        self,
+        size: float,
+        rate: float,
+        preemptible: bool = False,
+        tag: Any = None,
+    ) -> Reservation:
+        """Commit an occupancy and return an event firing at completion."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        now = self.env.now
+        start = self._busy_until if self._busy_until > now else now
+        end = start + size / rate
+        self._busy_until = end
+        res = Reservation(self, size, rate, start, end, tag=tag)
+        self._prune()
+        self._in_flight.append(res)
+        if preemptible:
+            self._arm(res)
+        else:
+            # Timeout-style: pre-succeeded, one heap entry, immutable.
+            res._ok = True
+            res._value = res
+            self.env.schedule_at(res, end)
+        return res
+
+    def preempt(
+        self, new_rate: Callable[[Reservation], Optional[float]] | float
+    ) -> int:
+        """Re-quote in-flight preemptible reservations at new rates.
+
+        ``new_rate`` is either a rate in B/s applied to every reservation
+        or a callable mapping a reservation to its new rate (``None`` =
+        keep the current quote).  A reservation mid-transmission keeps the
+        bytes already clocked out at the old rate and sends the remainder
+        at the new one; queued reservations are re-chained FIFO behind it.
+        Returns the number of reservations whose quotes moved.  Immutable
+        reservations (:meth:`quote` / non-preemptible) are untouched, so
+        the default transport path keeps the documented semantics:
+        in-flight packets finish at the rate they started with.
+        """
+        rate_for = (
+            new_rate if callable(new_rate) else (lambda _res: new_rate)
+        )
+        now = self.env.now
+        self._prune()
+        moved = 0
+        prev_end = 0.0
+        for res in self._in_flight:
+            if res.triggered:
+                # Immutable (pre-succeeded) reservation: its quote stands.
+                prev_end = res.end
+                continue
+            rate = rate_for(res)
+            if rate is None:
+                rate = res.rate
+            elif rate <= 0:
+                raise ValueError(f"rate must be positive, got {rate}")
+            if res.start <= now < res.end:
+                # Mid-transmission: finish the remaining bytes at the new
+                # rate (tc re-clocks the shaped class's in-flight frames).
+                done = (now - res.start) * res.rate
+                end = now + max(res.size - done, 0.0) / rate
+            else:
+                # Queued: restart the FIFO chain behind its predecessor.
+                start = prev_end if prev_end > now else now
+                res.start = start
+                end = start + res.size / rate
+            if end != res.end or rate != res.rate:
+                res.rate = rate
+                res.end = end
+                self._arm(res)
+                moved += 1
+            prev_end = res.end
+        if self._in_flight:
+            self._busy_until = self._in_flight[-1].end
+        return moved
+
+    # ------------------------------------------------------------------
+    def _arm(self, res: Reservation) -> None:
+        """(Re)schedule a preemptible reservation's completion."""
+        res._epoch += 1
+        epoch = res._epoch
+        fire = Event(self.env)
+        fire._ok = True
+        fire._value = None
+        fire.callbacks.append(
+            lambda _e, res=res, epoch=epoch: self._fire(res, epoch)
+        )
+        self.env.schedule_at(fire, res.end)
+
+    def _fire(self, res: Reservation, epoch: int) -> None:
+        if epoch == res._epoch and not res.triggered:
+            res.succeed(res)
+
+    def _prune(self) -> None:
+        now = self.env.now
+        while self._in_flight and self._in_flight[0].end <= now:
+            self._in_flight.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Channel {self.name} busy_until={self._busy_until:.6f} "
+            f"in_flight={len(self._in_flight)}>"
+        )
 
 
 class Request(Event):
@@ -97,15 +310,15 @@ class Resource:
                 self._waiting.remove(request)
             except ValueError:
                 pass  # releasing twice is a no-op, mirroring simpy
-        done = Release(self.env)
-        done.succeed()
-        return done
+        return Release(self.env)._succeed_sync()
 
     # ------------------------------------------------------------------
     def _admit(self, request: Request) -> None:
         if len(self._users) < self._capacity:
             self._users.append(request)
-            request.succeed()
+            # Immediate grant: nobody has subscribed yet, so complete the
+            # event synchronously instead of round-tripping the heap.
+            request._succeed_sync()
         else:
             self._waiting.append(request)
 
@@ -189,30 +402,39 @@ class Store(Generic[T]):
 
     # ------------------------------------------------------------------
     def _handle_put(self, event: StorePut[T]) -> None:
+        # Immediate completions (the overwhelmingly common case in the
+        # packet hot loop) are processed synchronously: the event has no
+        # subscribers yet, so scheduling it would only push the caller's
+        # continuation through the heap for nothing.
         if len(self._items) < self._capacity:
             self._items.append(event.item)
-            event.succeed()
+            event._succeed_sync()
             self._wake_getters()
         else:
             self._putters.append(event)
 
     def _handle_get(self, event: StoreGet[T]) -> None:
-        self._match(event)
+        self._match(event, sync=True)
         if event.triggered:
             self._wake_putters()
         else:
             self._getters.append(event)
 
-    def _match(self, event: StoreGet[T]) -> None:
-        """Find, remove and deliver the first item matching the getter."""
+    def _match(self, event: StoreGet[T], sync: bool = False) -> None:
+        """Find, remove and deliver the first item matching the getter.
+
+        ``sync`` is True only for a brand-new getter (no subscribers);
+        woken getters have waiters and must go through the queue.
+        """
         if event.filter is None:
             if self._items:
-                event.succeed(self._items.popleft())
+                item = self._items.popleft()
+                event._succeed_sync(item) if sync else event.succeed(item)
             return
         for idx, item in enumerate(self._items):
             if event.filter(item):
                 del self._items[idx]
-                event.succeed(item)
+                event._succeed_sync(item) if sync else event.succeed(item)
                 return
 
     def _wake_getters(self) -> None:

@@ -31,7 +31,7 @@ from ..hdfs.client.recovery import recover_pipeline
 from ..hdfs.client.responder import PacketResponder
 from ..hdfs.deployment import HdfsDeployment
 from ..hdfs.protocol import Packet, WriteResult
-from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store
+from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store, race
 from .local_opt import LocalOptimizer
 from .pipeline import PipelineState, SmarthPipeline
 from .records import SpeedRecords, SpeedSample
@@ -259,10 +259,12 @@ class SmarthClient:
             send = env.process(
                 self._send_packet(pipeline, packet), name=f"send:{seq}"
             )
+            # race() instead of an `a | b | c` Condition: one wait per
+            # packet, and on healthy runs only `send` ever fires.
             if watch_flag:
-                yield send | handle.error | self._error_flag
+                yield race(env, send, handle.error, self._error_flag)
             else:
-                yield send | handle.error
+                yield race(env, send, handle.error)
 
             if handle.error.triggered:
                 if send.is_alive:
@@ -296,7 +298,7 @@ class SmarthClient:
             if handle.fnfa_in is None:
                 return  # FNFA already consumed on a previous handle
             fnfa_get = handle.fnfa_in.get()
-            yield fnfa_get | handle.error | self._error_flag
+            yield race(env, fnfa_get, handle.error, self._error_flag)
 
             if fnfa_get.triggered:
                 fnfa = fnfa_get.value
@@ -326,7 +328,7 @@ class SmarthClient:
         responder = pipeline.responder
         handle = pipeline.handle
         try:
-            yield responder.block_done | handle.error
+            yield race(self.env, responder.block_done, handle.error)
             if responder.block_done.triggered:
                 self._complete(pipeline)
             else:

@@ -194,6 +194,109 @@ class TestTransfer:
         assert net.stats.total_bytes() == 0
 
 
+class TestMidTransferRateChange:
+    """tc rule changes while a transfer is on the wire."""
+
+    def test_in_flight_keeps_old_rate_by_default(self, env):
+        """Default semantics: the quote committed at start stands; only
+        transfers starting after the rule change see the new rate."""
+        net, a, b = make_pair(env, rate_a=mbps(100), rate_b=mbps(100))
+        size = 10 * MB
+
+        def scenario():
+            first = env.process(net.transfer(a, b, size))
+            # Throttle hard mid-transfer.
+            yield env.timeout((size / mbps(100)) / 2)
+            net.throttles.add(NodeThrottle("b", mbps(10)))
+            yield first
+            first_done = env.now
+            yield env.process(net.transfer(a, b, size))
+            return first_done
+
+        done = env.process(scenario())
+        first_done = env.run(until=done)
+        # First transfer finished at the original 100 Mbps quote.
+        assert first_done == pytest.approx(
+            size / mbps(100) + net.config.link_latency
+        )
+        # Second transfer ran at the throttled 10 Mbps.
+        assert env.now - first_done == pytest.approx(
+            size / mbps(10) + net.config.link_latency
+        )
+
+    def test_requote_in_flight_moves_completion(self, env):
+        """Opt-in mode: the rule change re-quotes the live reservation —
+        bytes already clocked out stay, the remainder moves to the new
+        rate."""
+        from repro.config import NetworkConfig
+
+        net, a, b = make_pair(env)
+        net.config = NetworkConfig(requote_in_flight=True)
+        net.throttles.subscribe(net._requote_in_flight)
+        size = 10 * MB
+        half = (size / mbps(100)) / 2
+
+        def scenario():
+            first = env.process(net.transfer(a, b, size))
+            yield env.timeout(half)
+            net.throttles.add(NodeThrottle("b", mbps(10)))
+            yield first
+
+        env.run(until=env.process(scenario()))
+        # Half the bytes at 100 Mbps, the other half at 10 Mbps.
+        expected = half + (size / 2) / mbps(10) + net.config.link_latency
+        assert env.now == pytest.approx(expected)
+
+    def test_requote_unthrottle_speeds_up(self, env):
+        from repro.config import NetworkConfig
+
+        net, a, b = make_pair(env)
+        net.config = NetworkConfig(requote_in_flight=True)
+        net.throttles.subscribe(net._requote_in_flight)
+        net.throttles.add(NodeThrottle("b", mbps(10)))
+        size = 10 * MB
+        quarter = (size / mbps(10)) / 4
+
+        def scenario():
+            first = env.process(net.transfer(a, b, size))
+            yield env.timeout(quarter)
+            net.throttles.remove_matching(lambda r: isinstance(r, NodeThrottle))
+            yield first
+
+        env.run(until=env.process(scenario()))
+        expected = quarter + (size * 0.75) / mbps(100) + net.config.link_latency
+        assert env.now == pytest.approx(expected)
+
+
+class TestLoopback:
+    def test_loopback_does_not_occupy_channels(self, env):
+        """src-is-dst transfers bypass the NIC channels entirely."""
+        net, a, _ = make_pair(env)
+        env.run(until=env.process(net.transfer(a, a, 100 * MB)))
+        assert env.now == pytest.approx(0.0)
+        assert not a.nic.egress.busy
+        assert not a.nic.ingress.busy
+        assert a.nic.egress.busy_until == 0.0
+
+    def test_loopback_still_recorded_in_stats(self, env):
+        net, a, _ = make_pair(env)
+        env.run(until=env.process(net.transfer(a, a, MB)))
+        assert net.stats.total_bytes(src="a", dst="a") == MB
+
+    def test_loopback_then_remote_transfer_unaffected(self, env):
+        net, a, b = make_pair(env)
+        size = 10 * MB
+
+        def scenario():
+            yield from net.transfer(a, a, size)
+            yield from net.transfer(a, b, size)
+
+        env.run(until=env.process(scenario()))
+        assert env.now == pytest.approx(
+            size / mbps(100) + net.config.link_latency
+        )
+
+
 class TestClusterBuilders:
     def test_homogeneous_layout(self, env):
         cluster = build_homogeneous(env, SMALL, n_datanodes=9)
