@@ -13,7 +13,7 @@ it for maximum-speed sweeps with ``journal.disable()``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 __all__ = ["TraceEvent", "Journal"]
 
@@ -38,6 +38,7 @@ class Journal:
     def __init__(self, enabled: bool = True):
         self._events: list[TraceEvent] = []
         self._enabled = enabled
+        self._listeners: list[Callable[[TraceEvent], None]] = []
 
     # -- control -----------------------------------------------------------
     @property
@@ -56,7 +57,25 @@ class Journal:
     # -- writing ------------------------------------------------------------
     def emit(self, time: float, kind: str, subject: str, **details: object) -> None:
         if self._enabled:
-            self._events.append(TraceEvent(time, kind, subject, details))
+            event = TraceEvent(time, kind, subject, details)
+            self._events.append(event)
+            for listener in self._listeners:
+                listener(event)
+
+    def subscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Call ``listener(event)`` on every emitted event.
+
+        Listeners observe the protocol stream live — the hook the chaos
+        engine's :class:`~repro.faults.invariants.InvariantMonitor` uses
+        to check invariants *during* a run, not just after it.  Listeners
+        must not mutate simulation state.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Remove a previously subscribed listener (missing is a no-op)."""
+        if listener in self._listeners:
+            self._listeners.remove(listener)
 
     # -- reading ------------------------------------------------------------
     def events(

@@ -6,6 +6,7 @@ Commands
 ``compare``     Run both systems and print the improvement.
 ``experiment``  Regenerate one (or all) of the paper's tables/figures.
 ``scenarios``   List the built-in scenarios.
+``chaos``       Run a deterministic chaos campaign with invariant checks.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ import sys
 from typing import Optional, Sequence
 
 from .experiments import ALL_EXPERIMENTS, experiment_config, run_all
+from .faults import report_json, run_campaign
 from .hdfs import HdfsDeployment, HdfsReader
 from .smarth import SmarthDeployment
 from .units import fmt_rate, fmt_size, fmt_time, parse_size
@@ -121,6 +123,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(results are identical to --jobs 1; default 1)",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seed-driven chaos campaign with durability invariants",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="campaign seed; run i uses sub-seed seed+i (default 7)",
+    )
+    chaos.add_argument(
+        "--runs",
+        type=_positive_int,
+        default=10,
+        metavar="K",
+        help="number of randomized fault schedules (default 10)",
+    )
+    chaos.add_argument(
+        "--protocol",
+        choices=("hdfs", "smarth", "both"),
+        default="both",
+        help="which client(s) to run each schedule under (default both)",
+    )
+    chaos.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="upload-size scale factor for faster smoke runs (default 1.0)",
+    )
+    chaos.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the JSON report here instead of stdout",
+    )
+
     sub.add_parser("scenarios", help="list built-in scenarios")
     return parser
 
@@ -192,6 +230,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    protocols = (
+        ("hdfs", "smarth") if args.protocol == "both" else (args.protocol,)
+    )
+    report = run_campaign(
+        args.seed, args.runs, protocols=protocols, scale=args.scale
+    )
+    rendered = report_json(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+    else:
+        print(rendered)
+    verdict = "ALL GREEN" if report["all_green"] else "VIOLATIONS FOUND"
+    print(
+        f"chaos: {args.runs} schedules x {len(protocols)} protocol(s), "
+        f"outcomes={report['outcomes']} -> {verdict}",
+        file=sys.stderr,
+    )
+    return 0 if report["all_green"] else 1
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     for scenario in (
         two_rack("small", throttle_mbps=100),
@@ -209,6 +269,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "roundtrip": _cmd_roundtrip,
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
+        "chaos": _cmd_chaos,
         "scenarios": _cmd_scenarios,
     }
     return handlers[args.command](args)

@@ -3,6 +3,7 @@
 from .figures import (
     ALL_EXPERIMENTS,
     experiment_config,
+    faultrec,
     fig5,
     fig6,
     fig7,
@@ -31,6 +32,7 @@ __all__ = [
     "fig11",
     "fig12",
     "fig13",
+    "faultrec",
     "PAPER_CLAIMS",
     "TABLE1",
     "ExperimentResult",

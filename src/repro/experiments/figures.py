@@ -17,6 +17,7 @@ from ..config import SimulationConfig
 from ..units import GB, MB, to_gigabytes, to_mbps
 from ..workloads.scenarios import contention, heterogeneous, two_rack
 from ..workloads.sweep import size_sweep, sweep
+from ..workloads.upload import run_upload
 from .paper_data import PAPER_CLAIMS
 from .report import ExperimentResult
 
@@ -32,6 +33,7 @@ __all__ = [
     "fig11",
     "fig12",
     "fig13",
+    "faultrec",
     "ALL_EXPERIMENTS",
 ]
 
@@ -318,6 +320,55 @@ def fig13(
     )
 
 
+def faultrec(
+    config=None, scale: float = 1.0, size_gb: float = 1.0
+) -> ExperimentResult:
+    """Fault recovery under a fixed schedule: one mid-pipeline kill at
+    t=1 s plus one 50 Mbps throttle at t=3 s (the paper's §III-B fault
+    model, pinned for golden-result testing)."""
+    config = config or experiment_config()
+    size = _scaled(size_gb, scale)
+    scenario = two_rack("small")
+
+    def faults(injector) -> None:
+        injector.kill_busy_at(at=1.0, pick=1)
+        injector.throttle_at("dn1", 50.0, at=3.0)
+
+    rows = []
+    for system in ("hdfs", "smarth"):
+        outcome = run_upload(
+            scenario, system, size, config=config, fault_hook=faults
+        )
+        rows.append(
+            {
+                "system": system,
+                "time_s": round(outcome.duration, 1),
+                "recoveries": outcome.result.recoveries,
+                "max_pipelines": outcome.result.max_concurrent_pipelines,
+                "fully_replicated": outcome.fully_replicated,
+                "killed": ",".join(outcome.injected_faults),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="faultrec",
+        title="Pipeline recovery under a fixed kill + throttle schedule",
+        columns=(
+            "system",
+            "time_s",
+            "recoveries",
+            "max_pipelines",
+            "fully_replicated",
+            "killed",
+        ),
+        rows=rows,
+        paper_claim=PAPER_CLAIMS["faultrec"],
+        measured={
+            "hdfs_recoveries": rows[0]["recoveries"],
+            "smarth_recoveries": rows[1]["recoveries"],
+        },
+    )
+
+
 #: Registry used by the benchmark harness and EXPERIMENTS.md generator.
 ALL_EXPERIMENTS = {
     "table1": table1,
@@ -330,4 +381,5 @@ ALL_EXPERIMENTS = {
     "fig11": fig11,
     "fig12": fig12,
     "fig13": fig13,
+    "faultrec": faultrec,
 }

@@ -86,4 +86,11 @@ PAPER_CLAIMS: dict[str, dict] = {
         "source": "§V-A, Table I",
         "values": TABLE1,
     },
+    "faultrec": {
+        "claim": "when a pipeline datanode fails mid-transfer, both "
+        "clients recover via Algorithm 3 (SMARTH additionally pauses its "
+        "other pipelines per Algorithm 4) and the upload completes "
+        "without losing acknowledged data",
+        "source": "§III-B, Algorithms 3-4",
+    },
 }

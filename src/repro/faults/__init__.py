@@ -1,5 +1,26 @@
-"""Fault injection for upload experiments."""
+"""Fault injection, chaos campaigns and durability invariants."""
 
+from .campaign import (
+    ChaosSchedule,
+    FaultSpec,
+    generate_schedule,
+    report_json,
+    run_campaign,
+    run_schedule,
+)
 from .injector import FaultEvent, FaultInjector
+from .invariants import INVARIANT_NAMES, InvariantMonitor, InvariantRecord
 
-__all__ = ["FaultInjector", "FaultEvent"]
+__all__ = [
+    "FaultInjector",
+    "FaultEvent",
+    "FaultSpec",
+    "ChaosSchedule",
+    "generate_schedule",
+    "run_schedule",
+    "run_campaign",
+    "report_json",
+    "InvariantMonitor",
+    "InvariantRecord",
+    "INVARIANT_NAMES",
+]

@@ -1,0 +1,348 @@
+"""Deterministic chaos campaigns for the multi-pipeline write path.
+
+A *campaign* is a seed-driven batch of randomized fault schedules —
+datanode kills, kill-the-busy-node, bandwidth throttles, revives and
+compound sequences of those — each executed against both the baseline
+HDFS client and the SMARTH client while an
+:class:`~repro.faults.invariants.InvariantMonitor` checks durability
+invariants live and after the run settles.
+
+Everything derives from ``random.Random(seed)`` and simulated time, so
+the JSON report (rendered with sorted keys) is byte-identical across
+repeated runs of the same seed — the property the CLI's ``chaos``
+subcommand and the fixed-seed pytest campaign assert.  Every run also
+carries a self-contained repro command: run ``--seed <subseed> --runs 1``
+to regenerate exactly that schedule, because run *i* of a campaign uses
+sub-seed ``seed + i``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import SimulationConfig
+from ..hdfs.client.recovery import RecoveryFailed
+from ..hdfs.deployment import HdfsDeployment
+from ..sim import Event
+from ..smarth.deployment import SmarthDeployment
+from ..units import KB, MB
+from ..workloads.scenarios import Scenario, two_rack
+from .injector import FaultInjector
+from .invariants import INVARIANT_NAMES, InvariantMonitor
+
+__all__ = [
+    "FaultSpec",
+    "ChaosSchedule",
+    "generate_schedule",
+    "run_schedule",
+    "run_campaign",
+    "report_json",
+]
+
+#: Chaos runs use small blocks so every upload spans multiple blocks
+#: (and SMARTH multiple pipelines) while staying fast to simulate.
+CHAOS_BLOCK_SIZE = 2 * MB
+CHAOS_PACKET_SIZE = 64 * KB
+#: Simulated-time budget per run; a workload still unfinished by then is
+#: classified as a hang (real uploads finish in a few simulated seconds).
+RUN_DEADLINE = 600.0
+#: Extra settle margin beyond the namenode's dead-node declaration delay,
+#: covering replication-monitor scan ticks plus the re-copy itself.
+SETTLE_MARGIN = 10.0
+
+_PROTOCOLS = ("hdfs", "smarth")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault, serializable and self-applying."""
+
+    kind: str  # kill | kill_busy | throttle | unthrottle | revive
+    at: float
+    datanode: Optional[str] = None
+    rate_mbps: Optional[float] = None
+    pick: int = 0
+
+    def apply(self, injector: FaultInjector) -> None:
+        if self.kind == "kill":
+            injector.kill_at(self.datanode, at=self.at)
+        elif self.kind == "kill_busy":
+            injector.kill_busy_at(at=self.at, pick=self.pick)
+        elif self.kind == "throttle":
+            injector.throttle_at(self.datanode, self.rate_mbps, at=self.at)
+        elif self.kind == "unthrottle":
+            injector.unthrottle_at(self.datanode, at=self.at)
+        elif self.kind == "revive":
+            injector.revive_at(self.datanode, at=self.at)
+        else:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        spec: dict = {"kind": self.kind, "at": self.at}
+        if self.datanode is not None:
+            spec["datanode"] = self.datanode
+        if self.rate_mbps is not None:
+            spec["rate_mbps"] = self.rate_mbps
+        if self.kind == "kill_busy":
+            spec["pick"] = self.pick
+        return spec
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """One run's randomized-but-reproducible fault plan."""
+
+    seed: int
+    n_datanodes: int
+    boundary_throttle_mbps: Optional[float]
+    size: int
+    faults: tuple[FaultSpec, ...]
+
+    def scenario(self) -> Scenario:
+        return two_rack(
+            "small",
+            n_datanodes=self.n_datanodes,
+            throttle_mbps=self.boundary_throttle_mbps,
+        )
+
+    def config(self) -> SimulationConfig:
+        return SimulationConfig(seed=self.seed).with_hdfs(
+            block_size=CHAOS_BLOCK_SIZE, packet_size=CHAOS_PACKET_SIZE
+        )
+
+    def apply(self, injector: FaultInjector) -> None:
+        for fault in self.faults:
+            fault.apply(injector)
+
+    @property
+    def last_fault_at(self) -> float:
+        return max((f.at for f in self.faults), default=0.0)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_datanodes": self.n_datanodes,
+            "boundary_throttle_mbps": self.boundary_throttle_mbps,
+            "size": self.size,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+
+def generate_schedule(seed: int, scale: float = 1.0) -> ChaosSchedule:
+    """Derive one fault schedule entirely from ``random.Random(seed)``.
+
+    Kills are budgeted to ``replication - 1`` per schedule so that every
+    block keeps a recovery path (the paper's fault model: fewer
+    simultaneous failures than replicas); once the budget is spent,
+    further draws degrade to throttles.  Kill faults may spawn a
+    compound revive; throttles may spawn a compound unthrottle.
+    """
+    rng = random.Random(seed)
+    replication = SimulationConfig().hdfs.replication
+
+    n_datanodes = rng.randint(5, 9)
+    names = [f"dn{i}" for i in range(n_datanodes)]
+    boundary = rng.choice((None, None, 50.0, 100.0))
+    size_mb = rng.choice((6, 8, 10, 12, 16))
+    size = max(int(size_mb * MB * scale), 2 * CHAOS_BLOCK_SIZE)
+
+    faults: list[FaultSpec] = []
+    kill_budget = replication - 1
+    for _ in range(rng.randint(1, 3)):
+        at = round(rng.uniform(0.05, 2.5), 3)
+        kind = rng.choice(("kill", "kill_busy", "throttle", "throttle"))
+        if kind in ("kill", "kill_busy") and kill_budget <= 0:
+            kind = "throttle"
+        if kind == "kill":
+            kill_budget -= 1
+            name = names[rng.randrange(n_datanodes)]
+            faults.append(FaultSpec("kill", at, datanode=name))
+            if rng.random() < 0.5:  # compound: crash, then restart
+                faults.append(
+                    FaultSpec(
+                        "revive",
+                        round(at + rng.uniform(3.0, 8.0), 3),
+                        datanode=name,
+                    )
+                )
+        elif kind == "kill_busy":
+            kill_budget -= 1
+            faults.append(FaultSpec("kill_busy", at, pick=rng.randrange(3)))
+        else:
+            name = names[rng.randrange(n_datanodes)]
+            rate = rng.choice((25.0, 50.0, 100.0))
+            faults.append(
+                FaultSpec("throttle", at, datanode=name, rate_mbps=rate)
+            )
+            if rng.random() < 0.6:  # compound: transient slowdown
+                faults.append(
+                    FaultSpec(
+                        "unthrottle",
+                        round(at + rng.uniform(0.3, 1.5), 3),
+                        datanode=name,
+                    )
+                )
+
+    faults.sort(key=lambda f: (f.at, f.kind, f.datanode or ""))
+    return ChaosSchedule(
+        seed=seed,
+        n_datanodes=n_datanodes,
+        boundary_throttle_mbps=boundary,
+        size=size,
+        faults=tuple(faults),
+    )
+
+
+def _defuse_failure(event: Event) -> None:
+    """Keep a failed upload process from aborting ``env.run`` — the
+    campaign classifies the failure instead."""
+    if not event.ok:
+        event.defuse()
+
+
+def run_schedule(schedule: ChaosSchedule, protocol: str) -> dict:
+    """Execute one schedule under one protocol; returns the run verdict."""
+    if protocol not in _PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; expected hdfs|smarth")
+
+    config = schedule.config()
+    env, cluster = schedule.scenario().make(config)
+    deployment = (
+        SmarthDeployment(cluster)
+        if protocol == "smarth"
+        else HdfsDeployment(cluster)
+    )
+    monitor = InvariantMonitor(deployment)
+    injector = FaultInjector(deployment)
+    schedule.apply(injector)
+
+    client = deployment.client()
+    path = "/chaos/upload.bin"
+    proc = env.process(
+        client.put(path, schedule.size), name=f"chaos:{protocol}"
+    )
+    proc.callbacks.append(_defuse_failure)
+
+    result = None
+    error: Optional[str] = None
+    try:
+        env.run(until=RUN_DEADLINE)
+    except Exception as exc:  # a non-client process crashed
+        outcome, error = "crash", repr(exc)
+    else:
+        if not proc.triggered:
+            outcome, error = "hang", f"upload still running at t={env.now:g}"
+        elif proc.ok:
+            outcome, result = "completed", proc.value
+        elif isinstance(proc.value, RecoveryFailed):
+            outcome, error = "recovery_failed", str(proc.value)
+        else:
+            outcome, error = "crash", repr(proc.value)
+
+    if outcome == "completed":
+        # Let the replication monitor declare dead nodes and heal
+        # under-replication before the convergence check.
+        hdfs_cfg = config.hdfs
+        dead_after = hdfs_cfg.heartbeat_interval * hdfs_cfg.dead_node_heartbeats
+        settle_until = (
+            max(env.now, schedule.last_fault_at) + dead_after + SETTLE_MARGIN
+        )
+        try:
+            env.run(until=settle_until)
+        except Exception as exc:
+            outcome, error = "crash", repr(exc)
+
+    monitor.stop()
+    monitor.finalize(outcome, result)
+
+    verdict = {
+        "protocol": protocol,
+        "outcome": outcome,
+        "ok": monitor.all_ok,
+        "invariants": monitor.to_dict(),
+        "violations": monitor.violations(),
+        "injected": [
+            {"at": e.at, "kind": e.kind, "datanode": e.datanode}
+            for e in injector.events
+        ],
+        "recoveries": result.recoveries if result is not None else None,
+        "duration": result.duration if result is not None else None,
+    }
+    if error is not None:
+        verdict["error"] = error
+    return verdict
+
+
+def run_campaign(
+    seed: int,
+    runs: int,
+    protocols: tuple[str, ...] = _PROTOCOLS,
+    scale: float = 1.0,
+) -> dict:
+    """Run ``runs`` schedules (sub-seeds ``seed+i``) under each protocol.
+
+    Returns the machine-readable campaign report: per-run schedules and
+    verdicts, per-invariant check/violation totals, and a ready-to-paste
+    repro command for every non-green run.
+    """
+    for protocol in protocols:
+        if protocol not in _PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+
+    totals = {name: {"checks": 0, "violations": 0} for name in INVARIANT_NAMES}
+    fault_kinds: dict[str, int] = {}
+    outcomes: dict[str, int] = {}
+    report_runs = []
+    all_green = True
+
+    for index in range(runs):
+        subseed = seed + index
+        schedule = generate_schedule(subseed, scale=scale)
+        for fault in schedule.faults:
+            fault_kinds[fault.kind] = fault_kinds.get(fault.kind, 0) + 1
+
+        verdicts = []
+        for protocol in protocols:
+            verdict = run_schedule(schedule, protocol)
+            verdicts.append(verdict)
+            outcomes[verdict["outcome"]] = (
+                outcomes.get(verdict["outcome"], 0) + 1
+            )
+            for name, tally in verdict["invariants"].items():
+                totals[name]["checks"] += tally["checks"]
+                totals[name]["violations"] += len(tally["violations"])
+            if not verdict["ok"]:
+                all_green = False
+                verdict["repro"] = (
+                    f"python -m repro chaos --seed {subseed} --runs 1 "
+                    f"--protocol {protocol} --scale {scale:g}"
+                )
+
+        report_runs.append(
+            {
+                "index": index,
+                "subseed": subseed,
+                "schedule": schedule.to_dict(),
+                "verdicts": verdicts,
+            }
+        )
+
+    return {
+        "seed": seed,
+        "runs": runs,
+        "protocols": list(protocols),
+        "scale": scale,
+        "all_green": all_green,
+        "outcomes": outcomes,
+        "fault_kinds": fault_kinds,
+        "invariant_totals": totals,
+        "runs_detail": report_runs,
+    }
+
+
+def report_json(report: dict) -> str:
+    """Canonical JSON rendering (sorted keys → byte-identical per seed)."""
+    return json.dumps(report, indent=2, sort_keys=True)

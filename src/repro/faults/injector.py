@@ -125,6 +125,8 @@ class FaultInjector:
         """Remove every dynamic throttle on ``name`` at time ``at``."""
         from ..net.throttle import NodeThrottle
 
+        self.deployment.datanode(name)  # validate early
+
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)
             removed = self.deployment.network.throttles.remove_matching(
@@ -142,6 +144,7 @@ class FaultInjector:
         is heartbeat-driven); in-flight pipelines it belonged to are not
         resurrected — matching a real restart.
         """
+        self.deployment.datanode(name)  # validate early
 
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)

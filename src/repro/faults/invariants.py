@@ -1,0 +1,258 @@
+"""Always-on durability invariants for chaos runs.
+
+The chaos campaign (:mod:`repro.faults.campaign`) does not compare
+uploads against golden outputs — under randomized fault schedules there
+is no single right answer.  Instead it checks *invariants*: properties
+the write path must preserve under any legal schedule of datanode kills,
+throttles and revives.  :class:`InvariantMonitor` hooks into a
+deployment's :class:`~repro.analysis.trace.Journal` (checking stream
+properties live, as events are emitted) and runs a periodic sampler
+process (checking state properties such as datanode buffer bounds), then
+performs block-level durability checks in :meth:`InvariantMonitor.finalize`
+once the run has settled.
+
+The invariant suite (names are stable identifiers used in reports):
+
+``acked_durability``
+    Every finalized replica of a completed block holds the full block —
+    bytes the client saw acknowledged are never silently truncated.
+``committed_replica_liveness``
+    Every completed block has at least one finalized replica on a live
+    datanode (no acknowledged data lives only on corpses).
+``replication_convergence``
+    When the run completed and enough datanodes survive, every completed
+    block reaches the target replication factor (the replication monitor
+    must heal fault-induced under-replication).
+``generation_monotone``
+    A block's generation stamp never decreases across pipeline opens and
+    recoveries (stale-replica invalidation depends on this ordering).
+``buffer_bound``
+    No datanode buffers more than one block (§IV-C: the first datanode
+    buffers at most one full block per client), sampled periodically.
+``pipeline_cap``
+    A client never has more than ``num_datanodes / replication`` live
+    pipelines (Algorithm 1's cap), tracked via pipeline_open /
+    pipeline_done journal events.
+``recovery_outcome``
+    A faulted run either completes or raises ``RecoveryFailed`` — it
+    never hangs and never fails some other way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..analysis.trace import TraceEvent
+from ..hdfs.deployment import HdfsDeployment
+from ..hdfs.protocol import BlockState, WriteResult
+from ..sim import Interrupt, ProcessGenerator
+
+__all__ = ["InvariantRecord", "InvariantMonitor", "INVARIANT_NAMES"]
+
+#: Stable identifiers of every invariant the monitor checks.
+INVARIANT_NAMES: tuple[str, ...] = (
+    "acked_durability",
+    "committed_replica_liveness",
+    "replication_convergence",
+    "generation_monotone",
+    "buffer_bound",
+    "pipeline_cap",
+    "recovery_outcome",
+)
+
+
+@dataclass
+class InvariantRecord:
+    """Check/violation tally for one invariant."""
+
+    name: str
+    checks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def check(self, ok: bool, message: str) -> None:
+        """Record one evaluation; keep ``message`` when it failed."""
+        self.checks += 1
+        if not ok:
+            self.violations.append(message)
+
+    def to_dict(self) -> dict:
+        return {
+            "checks": self.checks,
+            "violations": list(self.violations),
+        }
+
+
+class InvariantMonitor:
+    """Watches one deployment during a chaos run.
+
+    Construction subscribes to the deployment's journal and starts the
+    buffer sampler; call :meth:`stop` when the workload is over and
+    :meth:`finalize` after the post-run settle period to run the
+    block-level durability checks.
+    """
+
+    def __init__(
+        self,
+        deployment: HdfsDeployment,
+        sample_interval: float = 0.05,
+        buffer_bound_bytes: Optional[int] = None,
+    ):
+        self.deployment = deployment
+        self.env = deployment.env
+        hdfs_cfg = deployment.config.hdfs
+        self._packet_size = hdfs_cfg.packet_size
+        self._replication = hdfs_cfg.replication
+        # §IV-C: one full block per client; the baseline client may also
+        # be configured with a socket buffer larger than a chaos block.
+        self.buffer_bound_bytes = buffer_bound_bytes or max(
+            hdfs_cfg.block_size,
+            hdfs_cfg.socket_buffer,
+            4 * hdfs_cfg.packet_size,
+        )
+        self.pipeline_cap = max(
+            1, len(deployment.datanodes) // self._replication
+        )
+
+        self.records: dict[str, InvariantRecord] = {
+            name: InvariantRecord(name) for name in INVARIANT_NAMES
+        }
+        self._generation_high: dict[str, int] = {}
+        self._live_pipelines: dict[str, set[str]] = {}
+        self._finalized = False
+
+        deployment.journal.subscribe(self._on_event)
+        self._sampler = self.env.process(
+            self._sample_buffers(sample_interval), name="invariant:sampler"
+        )
+
+    # -- live checks (journal stream + sampler) -------------------------
+    def _on_event(self, event: TraceEvent) -> None:
+        generation = event.details.get("generation")
+        if generation is not None:
+            high = self._generation_high.get(event.subject)
+            self.records["generation_monotone"].check(
+                high is None or generation >= high,
+                f"{event.subject}: generation {generation} after {high} "
+                f"(t={event.time:.3f})",
+            )
+            if high is None or generation > high:
+                self._generation_high[event.subject] = generation
+
+        client = event.details.get("client")
+        if client is not None and event.kind == "pipeline_open":
+            live = self._live_pipelines.setdefault(client, set())
+            live.add(event.subject)
+            self.records["pipeline_cap"].check(
+                len(live) <= self.pipeline_cap,
+                f"client {client}: {len(live)} live pipelines "
+                f"> cap {self.pipeline_cap} (t={event.time:.3f})",
+            )
+        elif client is not None and event.kind == "pipeline_done":
+            self._live_pipelines.setdefault(client, set()).discard(
+                event.subject
+            )
+
+    def _sample_buffers(self, interval: float) -> ProcessGenerator:
+        record = self.records["buffer_bound"]
+        try:
+            while True:
+                yield self.env.timeout(interval)
+                for datanode in self.deployment.datanodes.values():
+                    for receiver in datanode.receivers:
+                        buffered = receiver.buffered_packets * self._packet_size
+                        record.check(
+                            buffered <= self.buffer_bound_bytes,
+                            f"{datanode.name}: {buffered} buffered bytes "
+                            f"> bound {self.buffer_bound_bytes} "
+                            f"(t={self.env.now:.3f})",
+                        )
+        except Interrupt:
+            return
+
+    # -- lifecycle ------------------------------------------------------
+    def stop(self) -> None:
+        """Detach from the journal and stop the sampler."""
+        self.deployment.journal.unsubscribe(self._on_event)
+        if self._sampler.is_alive:
+            self._sampler.interrupt("monitor stopped")
+
+    def finalize(
+        self, outcome: str, result: Optional[WriteResult] = None
+    ) -> None:
+        """Run the block-level durability checks (idempotent).
+
+        ``outcome`` is the campaign's run classification: ``completed``,
+        ``recovery_failed``, ``crash`` or ``hang``.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+
+        self.records["recovery_outcome"].check(
+            outcome in ("completed", "recovery_failed"),
+            f"run ended with outcome {outcome!r} "
+            "(expected completed or recovery_failed)",
+        )
+        if result is not None:
+            self.records["pipeline_cap"].check(
+                result.max_concurrent_pipelines <= self.pipeline_cap,
+                f"peak {result.max_concurrent_pipelines} concurrent "
+                f"pipelines > cap {self.pipeline_cap}",
+            )
+
+        blocks = self.deployment.namenode.blocks
+        live = {
+            name
+            for name, dn in self.deployment.datanodes.items()
+            if dn.node.alive
+        }
+        enough_nodes = len(live) >= self._replication
+        for info in blocks.all_blocks():
+            if info.state is not BlockState.COMPLETE:
+                continue
+            bid = info.block.block_id
+            for replica in info.replicas.values():
+                if not replica.finalized:
+                    continue
+                self.records["acked_durability"].check(
+                    replica.bytes_confirmed == info.block.size,
+                    f"block {bid}: replica on {replica.datanode} holds "
+                    f"{replica.bytes_confirmed}/{info.block.size} bytes",
+                )
+            live_finalized = sum(
+                1
+                for replica in info.replicas.values()
+                if replica.finalized and replica.datanode in live
+            )
+            self.records["committed_replica_liveness"].check(
+                live_finalized >= 1,
+                f"block {bid}: no finalized replica on a live datanode",
+            )
+            if outcome == "completed" and enough_nodes:
+                self.records["replication_convergence"].check(
+                    blocks.replication_of(bid) >= self._replication,
+                    f"block {bid}: {blocks.replication_of(bid)} finalized "
+                    f"replicas < target {self._replication} with "
+                    f"{len(live)} live datanodes",
+                )
+
+    # -- reporting ------------------------------------------------------
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.records.values())
+
+    def violations(self) -> dict[str, list[str]]:
+        """Non-empty violation lists keyed by invariant name."""
+        return {
+            name: list(r.violations)
+            for name, r in self.records.items()
+            if r.violations
+        }
+
+    def to_dict(self) -> dict:
+        return {name: r.to_dict() for name, r in self.records.items()}

@@ -29,6 +29,7 @@ from .protocol import (
     Block,
     BlockState,
     BlockTargets,
+    DatanodeDead,
     FileAlreadyExists,
     FileNotFound,
     HdfsError,
@@ -83,4 +84,5 @@ __all__ = [
     "LeaseConflict",
     "NoDatanodesAvailable",
     "PipelineFailure",
+    "DatanodeDead",
 ]

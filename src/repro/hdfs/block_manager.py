@@ -86,6 +86,10 @@ class BlockManager:
     def info(self, block_id: int) -> BlockInfo:
         return self._get(block_id)
 
+    def all_blocks(self) -> tuple[BlockInfo, ...]:
+        """Every tracked block's info, in block-id order."""
+        return tuple(self._blocks[bid] for bid in sorted(self._blocks))
+
     def locations(self, block_id: int) -> tuple[str, ...]:
         """Datanodes holding a finalized replica, sorted."""
         info = self._get(block_id)

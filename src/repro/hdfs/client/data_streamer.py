@@ -15,7 +15,7 @@ from typing import Optional
 from ...cluster.node import Node
 from ...sim import ProcessGenerator, Store, race
 from ..deployment import HdfsDeployment, PipelineHandle
-from ..protocol import Block, Packet, WriteResult
+from ..protocol import Block, DatanodeDead, Packet, WriteResult
 from .output_stream import DATA_QUEUE_PACKETS, plan_file, producer
 from .recovery import recover_pipeline
 from .responder import PacketResponder
@@ -76,30 +76,38 @@ class HdfsClient:
             acked_seqs: set[int] = set()
 
             while True:  # retry loop around pipeline failures
-                handle = self.deployment.open_pipeline(
-                    block,
-                    targets,
-                    self.node,
-                    buffer_bytes=hdfs_cfg.socket_buffer,
-                    initial_bytes=sum(produced[s].size for s in acked_seqs),
-                )
-                yield self.env.process(
-                    self.network.connection_setup(len(targets))
-                )
-                responder = PacketResponder(self.env, block, handle.ack_in)
+                try:
+                    handle = self.deployment.open_pipeline(
+                        block,
+                        targets,
+                        self.node,
+                        buffer_bytes=hdfs_cfg.socket_buffer,
+                        initial_bytes=sum(produced[s].size for s in acked_seqs),
+                    )
+                except DatanodeDead as dead:
+                    # The namenode's liveness view lags crashes by up to
+                    # dead_node_heartbeats intervals, so addBlock (or a
+                    # recovery) can hand out a target that is already
+                    # down.  Same treatment as a mid-stream failure.
+                    failed = dead.datanode
+                else:
+                    yield self.env.process(
+                        self.network.connection_setup(len(targets))
+                    )
+                    responder = PacketResponder(self.env, block, handle.ack_in)
 
-                failed = yield from self._stream_block(
-                    plan, block, handle, responder, produced, acked_seqs, data_queue
-                )
-                if failed is None:
-                    break
+                    failed = yield from self._stream_block(
+                        plan, block, handle, responder, produced, acked_seqs, data_queue
+                    )
+                    if failed is None:
+                        break
+                    handle.teardown()
+                    responder.stop()
+                    responder.unacked_packets()  # drained; resent via acked_seqs
 
                 # Algorithm 3: teardown, requeue un-ACKed, recover, retry.
                 recoveries += 1
                 blacklist.add(failed)
-                handle.teardown()
-                responder.stop()
-                responder.unacked_packets()  # drained; resent via acked_seqs
                 acked_bytes = sum(produced[s].size for s in acked_seqs)
                 block, targets = yield from recover_pipeline(
                     self.deployment,
@@ -115,6 +123,12 @@ class HdfsClient:
                     for seq, pkt in produced.items()
                 }
 
+            self.deployment.journal.emit(
+                self.env.now,
+                "pipeline_done",
+                f"block:{block.block_id}",
+                client=self.name,
+            )
             pipelines.append(targets)
 
         # Steps 5–6: close the stream and complete the file.

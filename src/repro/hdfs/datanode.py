@@ -36,7 +36,7 @@ from ..cluster.node import Node
 from ..config import HdfsConfig
 from ..net.transport import Network
 from ..sim import Environment, Event, Interrupt, Process, ProcessGenerator, Store
-from .protocol import FNFA, Ack, Block, Packet
+from .protocol import FNFA, Ack, Block, DatanodeDead, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
     from .namenode import Namenode
@@ -329,6 +329,11 @@ class Datanode:
     def active_receivers(self) -> int:
         return len(self._active)
 
+    @property
+    def receivers(self) -> tuple[BlockReceiver, ...]:
+        """The currently open receivers (observability for monitors)."""
+        return tuple(self._active)
+
     # -- namenode liaison ----------------------------------------------------
     def register_with(self, namenode: "Namenode") -> None:
         self.namenode = namenode
@@ -385,7 +390,7 @@ class Datanode:
     ) -> BlockReceiver:
         """Start receiving one block; returns the receiver handle."""
         if not self.node.alive:
-            raise RuntimeError(f"datanode {self.name} is dead")
+            raise DatanodeDead(self.name)
         receiver = BlockReceiver(
             datanode=self,
             block=block,

@@ -131,22 +131,30 @@ class HdfsDeployment:
 
         receivers: list[BlockReceiver] = []
         prev: Optional[BlockReceiver] = None
-        for i, name in enumerate(targets):
-            datanode = self.datanode(name)
-            receiver = datanode.open_receiver(
-                block=block,
-                ack_out=ack_in if i == 0 else prev.downstream_acks,
-                error=error,
-                fnfa_out=fnfa_in if i == 0 else None,
-                client_node=client_node if i == 0 else None,
-                upstream_node=client_node if i == 0 else prev.host,
-                buffer_bytes=buffer_bytes,
-                initial_bytes=initial_bytes,
-            )
-            if prev is not None:
-                prev.set_downstream(receiver)
-            receivers.append(receiver)
-            prev = receiver
+        try:
+            for i, name in enumerate(targets):
+                datanode = self.datanode(name)
+                receiver = datanode.open_receiver(
+                    block=block,
+                    ack_out=ack_in if i == 0 else prev.downstream_acks,
+                    error=error,
+                    fnfa_out=fnfa_in if i == 0 else None,
+                    client_node=client_node if i == 0 else None,
+                    upstream_node=client_node if i == 0 else prev.host,
+                    buffer_bytes=buffer_bytes,
+                    initial_bytes=initial_bytes,
+                )
+                if prev is not None:
+                    prev.set_downstream(receiver)
+                receivers.append(receiver)
+                prev = receiver
+        except Exception:
+            # A target refused the connection (e.g. DatanodeDead): tear
+            # down the receivers already chained so they don't linger as
+            # phantom active streams, then let the caller recover.
+            for receiver in receivers:
+                receiver.abort(None)
+            raise
 
         self.journal.emit(
             env.now,
@@ -154,6 +162,7 @@ class HdfsDeployment:
             f"block:{block.block_id}",
             targets=targets,
             generation=block.generation,
+            client=client_node.name,
         )
         return PipelineHandle(
             block=block,

@@ -26,6 +26,7 @@ __all__ = [
     "SafeModeException",
     "LeaseConflict",
     "NoDatanodesAvailable",
+    "DatanodeDead",
 ]
 
 
@@ -51,6 +52,22 @@ class LeaseConflict(HdfsError):
 
 class NoDatanodesAvailable(HdfsError):
     """Placement could not find enough live, un-excluded datanodes."""
+
+
+class DatanodeDead(HdfsError, RuntimeError):
+    """A connection was attempted to a crashed datanode.
+
+    The namenode's liveness view is heartbeat-driven, so for up to
+    ``dead_node_heartbeats`` intervals after a crash it can still hand a
+    dead datanode out as a pipeline target; the client discovers the
+    truth only when the connection is refused.  Clients treat this
+    exactly like a mid-stream pipeline failure: blacklist the node and
+    recover (also a ``RuntimeError`` for backward compatibility).
+    """
+
+    def __init__(self, datanode: str):
+        super().__init__(f"datanode {datanode} is dead")
+        self.datanode = datanode
 
 
 class PipelineFailure(HdfsError):

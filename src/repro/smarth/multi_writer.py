@@ -30,7 +30,7 @@ from ..hdfs.client.output_stream import (
 from ..hdfs.client.recovery import recover_pipeline
 from ..hdfs.client.responder import PacketResponder
 from ..hdfs.deployment import HdfsDeployment
-from ..hdfs.protocol import Packet, WriteResult
+from ..hdfs.protocol import DatanodeDead, Packet, WriteResult
 from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store, race
 from .local_opt import LocalOptimizer
 from .pipeline import PipelineState, SmarthPipeline
@@ -196,7 +196,28 @@ class SmarthClient:
         )
         targets = self.local_opt.reorder(result.targets)
         pipeline = SmarthPipeline(self.env, plan, result.block, targets, slot)
-        yield from self._build_streams(pipeline, buffer_bytes)
+        while True:
+            try:
+                yield from self._build_streams(pipeline, buffer_bytes)
+            except DatanodeDead as dead:
+                # addBlock handed out a node that crashed before the
+                # namenode noticed (heartbeat lag): blacklist it and
+                # replace it via Algorithm 3, keeping the same block.
+                self._recoveries += 1
+                self._blacklist.add(dead.datanode)
+                excluded = self._busy_datanodes(exclude=pipeline) | self._blacklist
+                new_block, new_targets = yield from recover_pipeline(
+                    self.deployment,
+                    self.name,
+                    pipeline.block,
+                    pipeline.targets,
+                    dead.datanode,
+                    0,
+                    excluded,
+                )
+                pipeline.rebind_block(new_block, new_targets)
+                continue
+            break
         pipeline.started_at = self.env.now
         return pipeline
 
@@ -341,6 +362,12 @@ class SmarthClient:
         pipeline.mark_done()
         self._active.discard(pipeline)
         pipeline.slot.cancel()
+        self.deployment.journal.emit(
+            self.env.now,
+            "pipeline_done",
+            f"block:{pipeline.block.block_id}",
+            client=self.name,
+        )
 
     def _enqueue_error(self, pipeline: SmarthPipeline, failed: str) -> None:
         """Algorithm 4: add the pipeline to the error pipeline set."""
@@ -378,7 +405,14 @@ class SmarthClient:
                 excluded,
             )
             pipeline.rebind_block(new_block, new_targets)
-            yield from self._build_streams(pipeline, buffer_bytes)
+            try:
+                yield from self._build_streams(pipeline, buffer_bytes)
+            except DatanodeDead as dead:
+                # The replacement crashed before we could connect: loop
+                # the pipeline back through the error set with the dead
+                # node blacklisted.
+                self._enqueue_error(pipeline, dead.datanode)
+                continue
 
             if pipeline.fully_streamed:
                 # The client had finished streaming this block before the

@@ -39,6 +39,7 @@ class TestInfrastructure:
             "fig11",
             "fig12",
             "fig13",
+            "faultrec",
         }
         assert set(PAPER_CLAIMS) == set(ALL_EXPERIMENTS)
 

@@ -19,6 +19,7 @@ import pytest
 from repro.experiments import ALL_EXPERIMENTS
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_scale025.json"
+GOLDEN_FAULTS_PATH = pathlib.Path(__file__).parent / "golden_faults.json"
 SCALE = 0.25
 
 
@@ -56,3 +57,22 @@ def test_rerun_is_deterministic(golden: dict) -> None:
     first = _normalize_rows(ALL_EXPERIMENTS["fig5"](scale=SCALE))
     second = _normalize_rows(ALL_EXPERIMENTS["fig5"](scale=SCALE))
     assert first == second == golden["fig5"]["rows"]
+
+
+def test_fault_scenario_matches_golden() -> None:
+    """The fixed kill+throttle run (faultrec) is pinned row-for-row.
+
+    Recovery timing is part of the behaviour contract: a change to the
+    fault path that shifts upload times, recovery counts or the identity
+    of the killed datanode must regenerate this golden file explicitly.
+    """
+    golden = json.loads(GOLDEN_FAULTS_PATH.read_text())
+    result = ALL_EXPERIMENTS["faultrec"](scale=SCALE)
+    rows = _normalize_rows(result)
+    expected = golden["faultrec"]["rows"]
+    assert len(rows) == len(expected)
+    for i, (mine, want) in enumerate(zip(rows, expected)):
+        assert mine == want, f"faultrec row {i} diverged from the golden run"
+    assert _normalize_measured(result) == golden["faultrec"]["measured"]
+    # Sanity: the schedule actually forced a recovery on both systems.
+    assert all(row["recoveries"] >= 1 for row in rows)

@@ -71,6 +71,59 @@ class TestKillBusy:
         assert injector.killed() in ((), ("dn3",))
 
 
+class TestEagerValidation:
+    """Every scheduler must reject unknown datanode names at call time,
+    not when the fault fires (regression: revive_at/unthrottle_at used
+    to fail silently inside the injection process)."""
+
+    def test_revive_unknown_name_raises_early(self, setup):
+        _, deployment = setup
+        injector = FaultInjector(deployment)
+        with pytest.raises(KeyError):
+            injector.revive_at("ghost", at=1.0)
+
+    def test_unthrottle_unknown_name_raises_early(self, setup):
+        _, deployment = setup
+        injector = FaultInjector(deployment)
+        with pytest.raises(KeyError):
+            injector.unthrottle_at("ghost", at=1.0)
+
+    def test_throttle_unknown_name_raises_early(self, setup):
+        _, deployment = setup
+        injector = FaultInjector(deployment)
+        with pytest.raises(KeyError):
+            injector.throttle_at("ghost", 50.0, at=1.0)
+
+
+class TestKillBusyEdgeCases:
+    def test_predicate_filtering_everything_is_noop(self, setup):
+        env, deployment = setup
+        injector = FaultInjector(deployment)
+        injector.kill_busy_at(at=0.05, predicate=lambda n: False)
+        client = deployment.client()
+        env.run(until=env.process(client.put("/f", 8 * MB)))
+        assert injector.killed() == ()
+        assert any(e.kind == "kill_busy_noop" for e in injector.events)
+
+    def test_pick_beyond_candidates_clamps_to_last(self, setup):
+        env, deployment = setup
+        injector = FaultInjector(deployment)
+        injector.kill_busy_at(at=0.05, pick=999)
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", 8 * MB)))
+        assert len(injector.killed()) == 1
+        assert result.recoveries >= 1
+
+    def test_double_kill_is_idempotent(self, setup):
+        env, deployment = setup
+        injector = FaultInjector(deployment)
+        injector.kill_at("dn0", at=1.0)
+        injector.kill_at("dn0", at=2.0)
+        env.run(until=5)
+        assert injector.killed() == ("dn0",)
+        assert not deployment.datanode("dn0").node.alive
+
+
 class TestRevive:
     def test_revive_restores_liveness(self, setup):
         env, deployment = setup

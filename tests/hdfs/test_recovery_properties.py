@@ -1,0 +1,126 @@
+"""Property-based tests for Algorithm 3 (`recover_pipeline`).
+
+Whatever subset of the cluster dies — including the recovery primary
+mid-recovery and fully exhausted clusters — recovery must terminate with
+exactly one of two outcomes: a valid ``(block, targets)`` pair (failed
+node gone, generation bumped, no blacklisted targets, replica state
+synced on the namenode) or :class:`RecoveryFailed`.  No hangs, no other
+exceptions, no half-recovered state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.hdfs.client.recovery import RecoveryFailed, recover_pipeline
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def _deployment(n_datanodes: int):
+    env = Environment()
+    cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=64 * KB)
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    # No replication monitor: the property is about the client-side
+    # algorithm, not background healing.
+    return env, HdfsDeployment(cluster, enable_replication_monitor=False)
+
+
+def _allocate_block(env, deployment):
+    namenode = deployment.namenode
+    box: dict = {}
+
+    def setup():
+        yield from namenode.create_file("client", "/f")
+        box["result"] = yield from namenode.add_block(
+            "client", "/f", 2 * MB, excluded=set()
+        )
+
+    env.run(until=env.process(setup()))
+    return box["result"].block, box["result"].targets
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_recovery_terminates_validly_or_raises(data) -> None:
+    n = data.draw(st.integers(min_value=4, max_value=9), label="n_datanodes")
+    env, deployment = _deployment(n)
+    block, targets = _allocate_block(env, deployment)
+
+    failed = data.draw(st.sampled_from(list(targets)), label="failed")
+    others = sorted(set(deployment.datanodes) - {failed})
+    extra_dead = data.draw(
+        st.lists(st.sampled_from(others), unique=True, max_size=len(others)),
+        label="extra_dead",
+    )
+    acked_bytes = data.draw(
+        st.sampled_from((0, 64 * KB, MB)), label="acked_bytes"
+    )
+    kill_primary_mid = data.draw(st.booleans(), label="kill_primary_mid")
+
+    deployment.datanode(failed).kill()
+    for name in extra_dead:
+        deployment.datanode(name).kill()
+    blacklist = {failed} | set(extra_dead)
+
+    survivors = [
+        t
+        for t in targets
+        if t != failed and deployment.datanode(t).node.alive
+    ]
+    if kill_primary_mid and survivors and acked_bytes > 0:
+        primary = survivors[0]
+
+        def killer():
+            # Strike while the primary is mid replica-sync transfer.
+            yield env.timeout(0.0005)
+            if deployment.datanode(primary).node.alive:
+                deployment.datanode(primary).kill()
+
+        env.process(killer(), name="killer")
+
+    outcome: dict = {}
+
+    def recover():
+        try:
+            outcome["result"] = yield from recover_pipeline(
+                deployment,
+                "client",
+                block,
+                targets,
+                failed,
+                acked_bytes,
+                blacklist,
+            )
+        except RecoveryFailed as exc:
+            outcome["error"] = exc
+
+    proc = env.process(recover(), name="recover")
+    env.run(until=60.0)
+
+    # Outcome 0 (forbidden): still running — recovery must never hang.
+    assert proc.triggered, "recover_pipeline did not terminate"
+
+    if "error" in outcome:
+        # Outcome B: the cluster was exhausted — a clean RecoveryFailed.
+        assert isinstance(outcome["error"], RecoveryFailed)
+        return
+
+    # Outcome A: a valid rebuilt pipeline.
+    new_block, new_targets = outcome["result"]
+    assert new_block.block_id == block.block_id
+    assert new_block.generation > block.generation  # stale replicas fenced
+    assert new_targets, "recovered pipeline has no targets"
+    assert len(set(new_targets)) == len(new_targets)
+    assert len(new_targets) <= len(targets)
+    assert failed not in new_targets
+    assert not blacklist.intersection(new_targets)
+    for name in new_targets:
+        assert name in deployment.datanodes
+    # The failed node's replica was dropped from the namenode's map.
+    info = deployment.namenode.blocks.info(block.block_id)
+    assert failed not in info.replicas

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -21,6 +23,18 @@ class TestParser:
         assert args.id == "fig6"
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "fig99"])
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 7
+        assert args.runs == 10
+        assert args.protocol == "both"
+        assert args.scale == 1.0
+        assert args.out is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--protocol", "nfs"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "--runs", "0"])
 
 
 class TestCommands:
@@ -88,3 +102,48 @@ class TestCommands:
         rc = main(["experiment", "fig13", "--scale", "0.03125"])
         assert rc == 0
         assert "Heterogeneous" in capsys.readouterr().out
+
+    def test_chaos_prints_report_and_exits_green(self, capsys):
+        rc = main(
+            [
+                "chaos",
+                "--seed",
+                "7",
+                "--runs",
+                "2",
+                "--protocol",
+                "smarth",
+                "--scale",
+                "0.25",
+            ]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["all_green"] is True
+        assert report["seed"] == 7
+        assert len(report["runs_detail"]) == 2
+        assert "ALL GREEN" in captured.err
+
+    def test_chaos_writes_report_file(self, capsys, tmp_path):
+        out = tmp_path / "chaos.json"
+        rc = main(
+            [
+                "chaos",
+                "--seed",
+                "9",
+                "--runs",
+                "1",
+                "--protocol",
+                "hdfs",
+                "--scale",
+                "0.25",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == ""  # report went to the file
+        report = json.loads(out.read_text())
+        assert report["protocols"] == ["hdfs"]
+        assert report["outcomes"] == {"completed": 1}
