@@ -12,6 +12,11 @@ to pytest-benchmark's ``extra_info``.
 
 import time
 
+from conftest import write_bench_json
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsClient, HdfsDeployment
 from repro.sim import (
     Channel,
     Environment,
@@ -19,6 +24,7 @@ from repro.sim import (
     Store,
     total_events_processed,
 )
+from repro.units import KB, MB
 
 #: Concurrent producer/consumer pairs; enough to keep the heap non-trivial.
 PAIRS = 20
@@ -70,7 +76,94 @@ def test_kernel_throughput(benchmark, results_dir):
     (results_dir / "kernel.txt").write_text(text)
     benchmark.extra_info["events"] = events
     benchmark.extra_info["events_per_sec"] = events_per_sec
+    write_bench_json(
+        results_dir,
+        "kernel",
+        "microbench",
+        {
+            "pairs": PAIRS,
+            "transfers_per_pair": TRANSFERS,
+            "events_processed": events,
+            "wall_seconds": round(elapsed, 3),
+            "events_per_sec": events_per_sec,
+        },
+    )
 
     # Sanity: the workload actually ran to completion.
     assert env.events_processed > PAIRS * TRANSFERS
     assert events >= env.events_processed
+
+
+# ---------------------------------------------------------------------------
+#: Pipeline workload: one client uploading this much through 3-replica
+#: pipelines — the hot loop the packet-train fast path coalesces.
+PIPELINE_UPLOAD = 256 * MB
+
+
+def _run_pipeline_workload(coalesce_packets: int):
+    """One baseline-HDFS upload; returns (duration, events, wall)."""
+    config = SimulationConfig().with_hdfs(
+        block_size=32 * MB,
+        packet_size=64 * KB,
+        coalesce_packets=coalesce_packets,
+    )
+    env = Environment()
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config)
+    deployment = HdfsDeployment(cluster)
+    client = HdfsClient(deployment)
+    events_before = total_events_processed()
+    wall_start = time.perf_counter()
+    result = env.run(
+        until=env.process(client.put("/bench/pipeline.bin", PIPELINE_UPLOAD))
+    )
+    wall = time.perf_counter() - wall_start
+    events = total_events_processed() - events_before
+    return result.duration, events, wall
+
+
+def test_pipeline_train_throughput(benchmark, results_dir):
+    """Packet-train coalescing: same simulated timeline, ≥3x fewer events."""
+    legacy_duration, legacy_events, legacy_wall = _run_pipeline_workload(1)
+    duration, events, wall = benchmark.pedantic(
+        lambda: _run_pipeline_workload(0), rounds=1, iterations=1
+    )
+
+    events_per_sec = round(events / wall) if wall > 0 else 0
+    legacy_eps = round(legacy_events / legacy_wall) if legacy_wall > 0 else 0
+    event_ratio = legacy_events / events
+
+    text = (
+        "pipeline workload (baseline HDFS upload, 3-replica pipelines)\n"
+        f"upload bytes          : {PIPELINE_UPLOAD}\n"
+        f"legacy heap events    : {legacy_events}\n"
+        f"train heap events     : {events}\n"
+        f"event reduction       : {event_ratio:.1f}x\n"
+        f"legacy wall seconds   : {legacy_wall:.3f}\n"
+        f"train wall seconds    : {wall:.3f}\n"
+        f"legacy events_per_sec : {legacy_eps}\n"
+        f"train events_per_sec  : {events_per_sec}\n"
+    )
+    print("\n" + text)
+    (results_dir / "kernel_pipeline.txt").write_text(text)
+    write_bench_json(
+        results_dir,
+        "kernel",
+        "pipeline",
+        {
+            "upload_bytes": PIPELINE_UPLOAD,
+            "events_processed": events,
+            "wall_seconds": round(wall, 3),
+            "events_per_sec": events_per_sec,
+            "legacy_events_processed": legacy_events,
+            "legacy_wall_seconds": round(legacy_wall, 3),
+            "legacy_events_per_sec": legacy_eps,
+            "event_reduction": round(event_ratio, 2),
+        },
+    )
+    benchmark.extra_info["event_reduction"] = round(event_ratio, 2)
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+
+    # The fast path must preserve the simulated timeline bit-for-bit...
+    assert duration == legacy_duration
+    # ...while coalescing at least 3x of the per-packet event traffic.
+    assert event_ratio >= 3.0

@@ -1,0 +1,75 @@
+"""CI perf-floor gate: compare BENCH_kernel.json against perf_floor.json.
+
+Run after ``pytest benchmarks/bench_kernel.py``:
+
+    python benchmarks/check_perf_floor.py
+
+Fails (exit 1) when a measured ``events_per_sec`` drops more than the
+configured tolerance below its checked-in floor, or when the packet-train
+event reduction (machine-independent) falls under its minimum.  Raising a
+floor is a normal part of landing a perf win; lowering one is a perf
+regression and needs justification in the PR.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).parent
+RESULTS = BENCH_DIR / "results" / "BENCH_kernel.json"
+FLOORS = BENCH_DIR / "perf_floor.json"
+
+
+def main() -> int:
+    if not RESULTS.exists():
+        print(f"missing {RESULTS}: run pytest benchmarks/bench_kernel.py first")
+        return 1
+    bench = json.loads(RESULTS.read_text())
+    floors = json.loads(FLOORS.read_text())
+    tolerance = float(floors.get("tolerance", 0.30))
+
+    failures = []
+    for section, limits in floors["kernel"].items():
+        measured = bench.get(section)
+        if measured is None:
+            failures.append(f"{section}: missing from {RESULTS.name}")
+            continue
+        floor_eps = limits.get("events_per_sec")
+        if floor_eps is not None:
+            allowed = floor_eps * (1.0 - tolerance)
+            actual = measured.get("events_per_sec", 0)
+            status = "ok" if actual >= allowed else "FAIL"
+            print(
+                f"{section}.events_per_sec: {actual} "
+                f"(floor {floor_eps}, min allowed {allowed:.0f}) {status}"
+            )
+            if actual < allowed:
+                failures.append(
+                    f"{section}.events_per_sec {actual} < {allowed:.0f}"
+                )
+        min_reduction = limits.get("min_event_reduction")
+        if min_reduction is not None:
+            actual = measured.get("event_reduction", 0.0)
+            status = "ok" if actual >= min_reduction else "FAIL"
+            print(
+                f"{section}.event_reduction: {actual}x "
+                f"(min {min_reduction}x) {status}"
+            )
+            if actual < min_reduction:
+                failures.append(
+                    f"{section}.event_reduction {actual} < {min_reduction}"
+                )
+
+    if failures:
+        print("perf floor check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("perf floor check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

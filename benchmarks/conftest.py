@@ -17,6 +17,7 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import time
@@ -26,6 +27,22 @@ import pytest
 from repro.sim import total_events_processed
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def write_bench_json(
+    results_dir: pathlib.Path, name: str, section: str, payload: dict
+) -> pathlib.Path:
+    """Merge ``payload`` into ``BENCH_<name>.json`` under ``section``.
+
+    Machine-readable companion to the ``.txt`` results: CI jobs (the
+    perf-smoke floor check) and the README's performance table read
+    these instead of scraping text.
+    """
+    path = results_dir / f"BENCH_{name}.json"
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data[section] = payload
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def bench_scale() -> float:
@@ -66,8 +83,19 @@ def run_experiment(benchmark, results_dir, driver, **kwargs):
         k: str(v) for k, v in result.measured.items()
     }
     benchmark.extra_info["paper"] = result.paper_claim.get("claim", "")
+    events_per_sec = round(events / elapsed) if elapsed > 0 else 0
     benchmark.extra_info["events"] = events
-    benchmark.extra_info["events_per_sec"] = (
-        round(events / elapsed) if elapsed > 0 else 0
+    benchmark.extra_info["events_per_sec"] = events_per_sec
+    write_bench_json(
+        results_dir,
+        result.experiment_id,
+        "experiment",
+        {
+            "experiment": result.experiment_id,
+            "events_processed": events,
+            "wall_seconds": round(elapsed, 3),
+            "events_per_sec": events_per_sec,
+            "measured": {k: str(v) for k, v in result.measured.items()},
+        },
     )
     return result

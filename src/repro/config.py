@@ -78,6 +78,16 @@ class HdfsConfig:
     #: write path (OS socket buffers + BlockReceiver staging) — a few MB,
     #: unlike SMARTH's one-block first-datanode buffer (§IV-C).
     socket_buffer: int = 4 * MB
+    #: Packet-train coalescing for the pipeline hot loop.  ``0`` (the
+    #: default) coalesces a whole block's steady-state packet stream into
+    #: one analytically-quoted :class:`~repro.hdfs.train.PacketTrain` per
+    #: pipeline; ``1`` disables coalescing (legacy per-packet events);
+    #: ``n > 1`` coalesces only blocks of at most ``n`` packets (a
+    #: granularity guard for memory-constrained plans).  The train planner
+    #: models the §IV-C buffer token bound exactly, so the coalesced window
+    #: is always clamped by buffer headroom.  Timing is bit-identical
+    #: either way (golden-equivalence tested).
+    coalesce_packets: int = 0
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -92,6 +102,8 @@ class HdfsConfig:
             raise ValueError("heartbeat_interval must be positive")
         if self.socket_buffer <= 0:
             raise ValueError("socket_buffer must be positive")
+        if self.coalesce_packets < 0:
+            raise ValueError("coalesce_packets must be >= 0")
 
     @property
     def packets_per_block(self) -> int:

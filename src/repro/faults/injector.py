@@ -51,10 +51,20 @@ class FaultInjector:
     def env(self) -> Environment:
         return self.deployment.env
 
+    def _register_disturbance(self, at: float) -> None:
+        """Record a scheduled disturbance time on the deployment.
+
+        The packet-train fast path declines to coalesce any window that
+        contains a scheduled kill/throttle, so registering up front keeps
+        the coalesced and per-packet timelines bit-identical.
+        """
+        self.deployment.scheduled_disturbances.append(at)
+
     # -- injection schedules -------------------------------------------------
     def kill_at(self, name: str, at: float) -> None:
         """Crash datanode ``name`` at simulated time ``at``."""
         self.deployment.datanode(name)  # validate early
+        self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)
@@ -77,6 +87,7 @@ class FaultInjector:
         is actually mid-pipeline" rather than a fixed name.  ``predicate``
         further filters candidates by name.
         """
+        self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)
@@ -111,6 +122,7 @@ class FaultInjector:
         from ..units import mbps
 
         self.deployment.datanode(name)  # validate early
+        self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)
@@ -126,6 +138,7 @@ class FaultInjector:
         from ..net.throttle import NodeThrottle
 
         self.deployment.datanode(name)  # validate early
+        self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
             yield env.timeout(at)

@@ -16,6 +16,7 @@ from ...cluster.node import Node
 from ...sim import ProcessGenerator, Store, race
 from ..deployment import HdfsDeployment, PipelineHandle
 from ..protocol import Block, DatanodeDead, Packet, WriteResult
+from ..train import plan_train
 from .output_stream import DATA_QUEUE_PACKETS, plan_file, producer
 from .recovery import recover_pipeline
 from .responder import PacketResponder
@@ -162,6 +163,48 @@ class HdfsClient:
         Returns ``None`` on success or the failed datanode's name.
         """
         to_send = [s for s in range(plan.n_packets) if s not in acked_seqs]
+
+        # Steady-state fast path: coalesce the whole block into one
+        # analytically-conducted packet train (see repro.hdfs.train).
+        train = plan_train(
+            self.deployment,
+            self.node,
+            handle,
+            responder,
+            data_queue,
+            plan,
+            fresh=not produced and not acked_seqs,
+        )
+        if train is not None:
+            train.start()
+            yield race(self.env, train.done, handle.error)
+            if not train.done.triggered:
+                for chunk in train.chunks:
+                    produced[chunk.seq] = Packet(
+                        block=block,
+                        seq=chunk.seq,
+                        size=chunk.size,
+                        is_last=chunk.is_last_in_block,
+                    )
+                if train.pending_get is not None:
+                    # Legacy parity: a streamer blocked on the data queue
+                    # at failure time still consumes the chunk the
+                    # producer eventually delivers, and recovery starts
+                    # only then.
+                    chunk = yield train.pending_get
+                    produced[chunk.seq] = Packet(
+                        block=block,
+                        seq=chunk.seq,
+                        size=chunk.size,
+                        is_last=chunk.is_last_in_block,
+                    )
+                self._note_acked(responder, acked_seqs, to_send)
+                return handle.error.value
+            self._note_acked(responder, acked_seqs, to_send)
+            return None
+
+        requote = self.network.config.requote_in_flight
+        first = handle.receivers[0]
         for seq in to_send:
             packet = produced.get(seq)
             if packet is None:
@@ -174,18 +217,27 @@ class HdfsClient:
                 )
                 produced[seq] = packet
 
-            send = self.env.process(
-                self._send_packet(handle, packet), name=f"send:{seq}"
-            )
-            # race() instead of `send | handle.error`: one of these waits
-            # happens per packet, and the error event is untriggered on
-            # every healthy run — no Condition allocation for it.
-            yield race(self.env, send, handle.error)
-            if handle.error.triggered:
-                if send.is_alive:
-                    send.interrupt("pipeline failed")
-                self._note_acked(responder, acked_seqs, to_send)
-                return handle.error.value
+            if requote:
+                # Preemptible reservations need a dedicated process the
+                # channel can re-quote; keep the spawned send.
+                send = self.env.process(
+                    self._send_packet(handle, packet), name=f"send:{seq}"
+                )
+                # race() instead of `send | handle.error`: one of these
+                # waits happens per packet, and the error event is
+                # untriggered on every healthy run — no Condition
+                # allocation for it.
+                yield race(self.env, send, handle.error)
+                if handle.error.triggered:
+                    if send.is_alive:
+                        send.interrupt("pipeline failed")
+                    self._note_acked(responder, acked_seqs, to_send)
+                    return handle.error.value
+            else:
+                failed = yield from self._send_packet_inline(first, packet, handle)
+                if failed is not None:
+                    self._note_acked(responder, acked_seqs, to_send)
+                    return failed
             responder.packet_sent(packet)
 
         # §II step 4/5: block boundary — wait for every packet's ACK.
@@ -199,6 +251,49 @@ class HdfsClient:
     def _send_packet(self, handle: PipelineHandle, packet: Packet) -> ProcessGenerator:
         """Deliver one packet to the first datanode (reserve + transfer)."""
         yield from handle.receivers[0].send_in(self.node, packet)
+
+    def _send_packet_inline(self, receiver, packet: Packet, handle: PipelineHandle):
+        """One packet's single-hop send, inlined into the streamer.
+
+        Identical timeline to spawning :meth:`_send_packet` and racing it
+        against the error event — token reservation, analytic transfer,
+        inbox hand-off — without the per-packet process (init event, token
+        round-trips, process-termination event).  On a pipeline error the
+        in-flight step is abandoned exactly like an interrupted send: a
+        pending token grant goes to waste and an unfinished transfer never
+        applies its byte counters or flow sample.  Returns the failed
+        datanode's name, or ``None``.
+        """
+        if handle.error.triggered:
+            # The error landed while we were parked on the data queue; the
+            # spawned send would have been interrupted before its init
+            # event ran — no token put, no channel quotes.
+            return handle.error.value
+        put = receiver._buffer_tokens.put(packet.seq)
+        if not put.processed:
+            yield race(self.env, put, handle.error)
+            # `processed`, not `triggered`: the spawned send resumed (and
+            # committed its channel quotes) exactly when the token grant
+            # was *processed*; a grant still in the queue when the error
+            # landed was wasted on a dying process.
+            if handle.error.triggered and not put.processed:
+                return handle.error.value
+        receiver.max_buffered = max(
+            receiver.max_buffered, len(receiver._buffer_tokens)
+        )
+        done, finish = self.network.transfer_begin(
+            self.node, receiver.host, packet.size
+        )
+        yield race(self.env, done, handle.error)
+        if handle.error.triggered and not done.processed:
+            return handle.error.value
+        finish()
+        yield receiver.inbox.put(packet)
+        if handle.error.triggered:
+            # Same-instant tie: the spawned send had already delivered the
+            # packet, but the streamer still reported the failure.
+            return handle.error.value
+        return None
 
     @staticmethod
     def _note_acked(

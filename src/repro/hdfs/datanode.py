@@ -158,6 +158,20 @@ class BlockReceiver:
         yield from self.datanode.network.transfer(src_node, self.host, packet.size)
         yield self.inbox.put(packet)
 
+    def quiesce_for_train(self) -> None:
+        """Stop the per-packet loops so a packet train can take over.
+
+        The receiver stays registered with its datanode (observability:
+        ``active_receivers``, the buffer monitor, kill-the-busy-node fault
+        picks) and :meth:`abort` still works; only the recv/forward/ACK
+        processes are retired.  The train performs their externally
+        observable actions — finalize, FNFA, blockReceived, close — at
+        the analytically identical times.
+        """
+        for proc in self._procs:
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("packet train takeover")
+
     def abort(self, failed_datanode: str | None = None) -> None:
         """Tear the receiver down (datanode death or pipeline recovery)."""
         if self._aborted:

@@ -70,6 +70,11 @@ class HdfsDeployment:
         #: Structured protocol trace shared by every service on this
         #: deployment (see repro.analysis.trace).
         self.journal = Journal()
+        #: Simulated times at which a fault/throttle disturbance is
+        #: *scheduled* (FaultInjector registers them up front).  The
+        #: packet-train planner consults this to refuse coalescing any
+        #: window that contains a scheduled disturbance.
+        self.scheduled_disturbances: list[float] = []
 
         self.namenode = Namenode(
             env=self.env,

@@ -1,0 +1,625 @@
+"""Packet-train coalescing for the pipeline hot loop.
+
+In steady state the per-packet event cascade of a block write — buffer
+token, transfer, inbox hand-off, disk write, forward, ACK relay hop — is
+fully determined by the channel FIFO recurrences (every store interaction
+resolves synchronously and every wait is a :meth:`Channel.quote`).  A
+:class:`PacketTrain` exploits that: one *conductor* process per pipeline
+computes the whole block's timeline analytically from the same quote
+math, performs only the externally-observable actions in real time, and
+turns O(packets × hops) heap events into O(packets) feeder waits plus a
+handful of per-block milestones.
+
+The conductor stays honest three ways:
+
+* **Real producer interaction.**  The data-queue ``get`` for packet ``k``
+  is issued at exactly the legacy issue time (the completion of packet
+  ``k-1``'s first-hop send), so producer pacing, queue occupancy and the
+  blocked-putter wakeup order are the real thing, not a model.
+* **Channel guards.**  Train occupancy is held as a per-channel ledger of
+  ``(issue, end)`` quotes rather than a committed ``busy_until``.  The
+  instant a *foreign* caller quotes a guarded channel, the guard
+  materialises the ledger prefix with ``issue <= now`` (those quotes are
+  immutable, exactly like legacy in-flight packets) so the foreign
+  transfer chains behind it, then wakes the conductor to re-plan.
+* **Frozen-prefix replay.**  On any invalidation (throttle-table change,
+  foreign quote) the plan is recomputed at the interruption time ``T``:
+  operations whose issue time is ``< T`` keep their quotes verbatim,
+  everything later is re-quoted with the current effective rates and the
+  channels' real ``busy_until`` as floors.  Causality guarantees replayed
+  issue times never move before ``T``, so the split is well defined.
+
+Observable history is preserved bit-for-bit: the journal's
+``block_stored`` / FNFA / ``blockReceived`` activity is produced by
+spawning the *real* :meth:`BlockReceiver._local_finalize` at the
+analytically-computed last-write time, receiver closes and the responder's
+``block_done`` fire at the legacy timestamps, and NIC/disk/flow counters
+are batch-applied at settle (nothing observes them mid-block).
+
+The planner only accepts *pristine* windows — fresh attempt, no scheduled
+fault/throttle disturbances, no co-resident foreign receivers, no other
+train guarding a needed channel — and otherwise declines, falling back to
+the per-packet path.  Datanode kills mid-train (only reachable through
+direct, unscheduled ``kill()`` calls) settle the committed prefix and
+reconstruct the client-visible recovery state per Algorithm 3.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Optional
+
+from ..net.stats import FlowSample
+from ..sim import Environment, Event, ProcessGenerator, Store, race
+from .protocol import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+    from .client.output_stream import BlockPlan
+    from .client.responder import PacketResponder
+    from .deployment import HdfsDeployment, PipelineHandle
+
+__all__ = ["PacketTrain", "plan_train"]
+
+
+def plan_train(
+    deployment: "HdfsDeployment",
+    client_node: "Node",
+    handle: "PipelineHandle",
+    responder: "PacketResponder",
+    data_queue: Store,
+    plan: "BlockPlan",
+    fresh: bool = True,
+) -> Optional["PacketTrain"]:
+    """Return a ready-to-start train for this block, or ``None`` to decline.
+
+    The predicate is deliberately conservative: any condition that could
+    make the analytic timeline diverge from the per-packet one — resend
+    state, a scheduled disturbance, requote-mode reservations, loopback,
+    a foreign receiver sharing a hop datanode, another train already
+    guarding a needed channel — falls back to the legacy path.
+    """
+    hdfs_cfg = deployment.config.hdfs
+    if hdfs_cfg.coalesce_packets == 1:
+        return None
+    if 1 < hdfs_cfg.coalesce_packets < plan.n_packets:
+        return None
+    if deployment.network.config.requote_in_flight:
+        # Preemptible reservations re-quote in flight; the train ledger
+        # models immutable quotes only.
+        return None
+    if not fresh:
+        return None  # resend attempts carry per-seq state; stay per-packet
+    if deployment.scheduled_disturbances:
+        # Any scheduled kill/throttle (or its aftermath: recovery and
+        # re-replication traffic) makes the window non-pristine.
+        return None
+    if handle.error.triggered:
+        return None
+    receivers = handle.receivers
+    if not receivers:
+        return None
+    hosts = [r.host for r in receivers]
+    if len({client_node, *hosts}) != len(hosts) + 1:
+        return None  # loopback or repeated target: shared NICs
+    for receiver in receivers:
+        if not receiver.datanode.node.alive:
+            return None
+        for other in receiver.datanode._active:
+            if other is not receiver:
+                return None  # foreign stream on a hop datanode
+    train = PacketTrain(
+        deployment, client_node, handle, responder, data_queue, plan
+    )
+    for channel in train.channels:
+        if channel._guard is not None:
+            return None  # another train holds this channel's ledger
+    return train
+
+
+class PacketTrain:
+    """One coalesced block write: analytic timeline + real milestones."""
+
+    def __init__(
+        self,
+        deployment: "HdfsDeployment",
+        client_node: "Node",
+        handle: "PipelineHandle",
+        responder: "PacketResponder",
+        data_queue: Store,
+        plan: "BlockPlan",
+    ):
+        self.env: Environment = deployment.env
+        self.deployment = deployment
+        self.network = deployment.network
+        self.client_node = client_node
+        self.handle = handle
+        self.block = handle.block
+        self.responder = responder
+        self.data_queue = data_queue
+        self.plan = plan
+        self.receivers = handle.receivers
+
+        self._sizes = plan.packet_sizes
+        self._K = plan.n_packets
+        self._total_bytes = plan.size
+        self._n_hops = len(self.receivers)
+        self._caps = [r.buffer_capacity for r in self.receivers]
+        #: (src, dst) node pair of each hop's inbound transfer.
+        self._links = [
+            (client_node if h == 0 else self.receivers[h - 1].host,
+             self.receivers[h].host)
+            for h in range(self._n_hops)
+        ]
+        self._egress = [src.nic.egress for src, _dst in self._links]
+        self._ingress = [dst.nic.ingress for _src, dst in self._links]
+        self._disk_ch = [r.host.disk._channel for r in self.receivers]
+        self._disk_rate = [r.host.disk.rate for r in self.receivers]
+        seen: dict = {}
+        for channel in (*self._egress, *self._ingress, *self._disk_ch):
+            seen.setdefault(id(channel), channel)
+        #: Every channel whose occupancy this train holds analytically.
+        self.channels = list(seen.values())
+
+        self._L = self.network.config.link_latency
+        self._C = self.network.config.control_latency
+
+        #: Fires once the success settle has completed (legacy block-done
+        #: time: the head datanode's last ACK reaching the client).
+        self.done: Event = self.env.event()
+        #: Fires at the last packet's first-hop arrival (legacy "all
+        #: packets sent" point — SMARTH's send loop resumes here).
+        self.sent: Event = self.env.event()
+        #: Chunks actually consumed from the data queue, in order.
+        self.chunks: list = []
+        #: A data-queue get issued but not yet satisfied when the train
+        #: was killed.  Legacy leaves the same dangling get behind; the
+        #: client drains it so the produced chunk is not lost.
+        self.pending_get = None
+        #: Packets whose first-hop delivery completed (legacy's per-packet
+        #: send loop would have recorded these as sent) — the whole block
+        #: on success, the arrived prefix after an error settle.
+        self.sent_count = 0
+
+        # Per-hop timeline arrays, index = packet seq.
+        self._g: list[float] = []  # feeder get completion (real)
+        H = self._n_hops
+        self._p = [[] for _ in range(H)]    # transfer issue
+        self._ee = [[] for _ in range(H)]   # egress channel end
+        self._ie = [[] for _ in range(H)]   # ingress channel end
+        self._a = [[] for _ in range(H)]    # arrival (incl. link latency)
+        self._w = [[] for _ in range(H)]    # disk write end
+        self._u = [[] for _ in range(H)]    # ACK relayed upstream
+        self._rel = [[] for _ in range(H)]  # buffer token release
+
+        self._rates: list[float] = []
+        self._chan_busy: dict = {}
+        #: Per channel: parallel (issues, ends) lists in FIFO order.
+        self._ledger: dict = {}
+        self._old: Optional[tuple] = None  # previous arrays during replay
+        self._freeze_before = 0.0
+
+        self._flag: Event = self.env.event()
+        self._guarded: set = set()  # channel ids still holding our guard
+        self._fired: set = set()
+        self._milestones: list = []
+        self._started = False
+        self._dead = False
+        self._finished = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Quiesce the receivers, arm guards, and spawn the conductor."""
+        assert not self._started
+        self._started = True
+        for receiver in self.receivers:
+            receiver.quiesce_for_train()
+        for channel in self.channels:
+            channel._guard = self._make_guard(channel)
+            self._guarded.add(id(channel))
+        self.network.throttles.subscribe(self._on_throttle)
+        # Settle synchronously inside the error event's callback chain so
+        # the client (subscribed after us) resumes against settled state.
+        assert self.handle.error.callbacks is not None
+        self.handle.error.callbacks.append(self._on_error)
+        self._snapshot_rates()
+        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
+        self._ledger = {id(ch): ([], []) for ch in self.channels}
+        self.env.process(
+            self._conduct(), name=f"train:b{self.block.block_id}"
+        )
+
+    # -- invalidation hooks ------------------------------------------------
+    def _make_guard(self, channel):
+        def guard() -> None:
+            self._materialize(channel)
+            self._bump()
+
+        return guard
+
+    def _on_throttle(self, _table) -> None:
+        self._bump()
+
+    def _bump(self) -> None:
+        if not self._flag.triggered:
+            self._flag.succeed()
+
+    def _materialize(self, channel) -> None:
+        """Commit the ledger prefix with ``issue <= now`` to ``busy_until``.
+
+        Idempotent and monotone; called by the guard so a foreign quote
+        chains behind exactly the train quotes that legacy would already
+        have committed.
+        """
+        issues, ends = self._ledger[id(channel)]
+        # Quotes issued at exactly ``now`` count as committed too — legacy
+        # would have placed them before this foreign call's quote.
+        idx = bisect_right(issues, self.env.now)
+        if idx:
+            end = ends[idx - 1]
+            if end > channel._busy_until:
+                channel._busy_until = end
+
+    def _detach(self) -> None:
+        # Only drop guards we still own: a channel released early (see
+        # :meth:`_release_finished_channels`) may already carry the guard
+        # of the client's *next* train.
+        for channel in self.channels:
+            if id(channel) in self._guarded:
+                channel._guard = None
+        self._guarded.clear()
+        self.network.throttles.unsubscribe(self._on_throttle)
+
+    def _release_finished_channels(self) -> None:
+        """Drop guards on channels whose planned quotes are all issued.
+
+        Once a channel's last ledger entry has been issued its occupancy
+        is final from this train's perspective: commit it to
+        ``busy_until`` and let foreign quotes (in particular the same
+        client's next pipeline, which shares the egress NIC while this
+        train is still waiting for tail ACKs) proceed guard-free.  Only
+        called from phase 2, when every row has been extended and the
+        ledger is complete.
+        """
+        if not self._guarded:
+            return
+        now = self.env.now
+        for channel in self.channels:
+            key = id(channel)
+            if key not in self._guarded:
+                continue
+            issues, ends = self._ledger[key]
+            if issues and issues[-1] <= now:
+                if ends[-1] > channel._busy_until:
+                    channel._busy_until = ends[-1]
+                channel._guard = None
+                self._guarded.discard(key)
+
+    # -- timeline math -----------------------------------------------------
+    def _snapshot_rates(self) -> None:
+        self._rates = [
+            self.network.effective_rate(src, dst) for src, dst in self._links
+        ]
+
+    def _quote(self, channel, issue: float, size: int, rate: float) -> float:
+        """The :meth:`Channel.quote` recurrence against the train ledger."""
+        key = id(channel)
+        busy = self._chan_busy[key]
+        start = busy if busy > issue else issue
+        end = start + size / rate
+        self._chan_busy[key] = end
+        issues, ends = self._ledger[key]
+        issues.append(issue)
+        ends.append(end)
+        return end
+
+    def _keep(self, channel, issue: float, end: float) -> float:
+        """Carry a frozen (pre-invalidation) quote through a replay."""
+        key = id(channel)
+        if end > self._chan_busy[key]:
+            self._chan_busy[key] = end
+        issues, ends = self._ledger[key]
+        issues.append(issue)
+        ends.append(end)
+        return end
+
+    def _extend(self, k: int) -> None:
+        """Compute packet ``k``'s full multi-hop row from the recurrences.
+
+        Mirrors, hop by hop, what the per-packet processes do: first-hop
+        issue gated by the feeder get and hop-0 buffer tokens, transfer
+        quotes on egress+ingress, the analytic disk write at arrival,
+        store-and-forward into the next hop gated by its tokens, and the
+        write-and-downstream-gated ACK relay walking back to the client.
+        """
+        size = self._sizes[k]
+        H = self._n_hops
+        old = self._old
+        frozen_T = self._freeze_before
+
+        for h in range(H):
+            if h == 0:
+                base = self._g[k]
+            else:
+                # Forwarder of hop h-1: ready after its previous forward
+                # landed, and the packet must have arrived at hop h-1.
+                base = self._a[h - 1][k]
+                if k > 0 and self._a[h][k - 1] > base:
+                    base = self._a[h][k - 1]
+            cap = self._caps[h]
+            if k >= cap and self._rel[h][k - cap] > base:
+                base = self._rel[h][k - cap]  # §IV-C buffer backpressure
+            self._p[h].append(base)
+            if old is not None and old[0][h][k] < frozen_T:
+                ee = self._keep(self._egress[h], old[0][h][k], old[1][h][k])
+                ie = self._keep(self._ingress[h], old[0][h][k], old[2][h][k])
+            else:
+                rate = self._rates[h]
+                ee = self._quote(self._egress[h], base, size, rate)
+                ie = self._quote(self._ingress[h], base, size, rate)
+            self._ee[h].append(ee)
+            self._ie[h].append(ie)
+            arrival = (ee if ee > ie else ie) + self._L
+            self._a[h].append(arrival)
+            if h > 0:
+                self._rel[h - 1].append(arrival)  # token freed on forward
+            if old is not None and old[3][h][k] < frozen_T:
+                w = self._keep(self._disk_ch[h], old[3][h][k], old[4][h][k])
+            else:
+                w = self._quote(
+                    self._disk_ch[h], arrival, size, self._disk_rate[h]
+                )
+            self._w[h].append(w)
+
+        for h in range(H - 1, -1, -1):
+            ready = self._u[h][k - 1] if k > 0 else 0.0
+            if self._a[h][k] > ready:
+                ready = self._a[h][k]
+            if self._w[h][k] > ready:
+                ready = self._w[h][k]
+            if h == H - 1:
+                self._rel[h].append(ready)  # tail frees its token pre-ACK
+            else:
+                if self._u[h + 1][k] > ready:
+                    ready = self._u[h + 1][k]
+            self._u[h].append(ready + self._C)
+
+    def _replay(self) -> None:
+        """Frozen-prefix recompute at ``now`` with current rates/floors."""
+        rows = len(self._g)
+        H = self._n_hops
+        # _old layout: [0]=issues(p), [1]=egress ends, [2]=ingress ends,
+        # [3]=disk issues(a), [4]=disk ends(w) — see _extend's frozen path.
+        self._old = (self._p, self._ee, self._ie, self._a, self._w)
+        self._freeze_before = self.env.now
+        self._p = [[] for _ in range(H)]
+        self._ee = [[] for _ in range(H)]
+        self._ie = [[] for _ in range(H)]
+        self._a = [[] for _ in range(H)]
+        self._w = [[] for _ in range(H)]
+        self._u = [[] for _ in range(H)]
+        self._rel = [[] for _ in range(H)]
+        self._snapshot_rates()
+        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
+        self._ledger = {id(ch): ([], []) for ch in self.channels}
+        for k in range(rows):
+            self._extend(k)
+        self._old = None
+        if self._milestones:
+            self._rebuild_milestones()
+
+    def _maybe_replay(self) -> None:
+        if self._flag.triggered:
+            self._flag = self.env.event()
+            self._replay()
+
+    # -- the conductor -----------------------------------------------------
+    def _conduct(self) -> ProcessGenerator:
+        env = self.env
+        K = self._K
+        k = 0
+        while k < K:
+            # Sleep to the legacy get-issue time (completion of the
+            # previous packet's first-hop send); a replay may move it.
+            while True:
+                self._maybe_replay()
+                if self._dead:
+                    return
+                issue_at = env.now if k == 0 else self._a[0][k - 1]
+                if env.now >= issue_at:
+                    break
+                yield race(env, env.timeout_at(issue_at), self._flag)
+                if self._dead:
+                    return
+            get_ev = self.data_queue.get()
+            self.pending_get = get_ev
+            while not get_ev.triggered:
+                yield race(env, get_ev, self._flag)
+                if self._dead:
+                    return  # pending_get stays exposed for the client
+                self._maybe_replay()
+            self.pending_get = None
+            chunk = get_ev.value
+            assert chunk.seq == k and chunk.size == self._sizes[k]
+            self.chunks.append(chunk)
+            self._g.append(env.now)
+            self._extend(k)
+            k += 1
+
+        self._rebuild_milestones()
+        while self._milestones:
+            self._maybe_replay()
+            if self._dead:
+                return
+            when, _order, kind, h = self._milestones[0]
+            if env.now < when:
+                yield race(env, env.timeout_at(when), self._flag)
+                if self._dead:
+                    return
+                continue
+            self._milestones.pop(0)
+            self._fire(kind, h)
+        self._finished = True
+
+    # -- milestones --------------------------------------------------------
+    def _rebuild_milestones(self) -> None:
+        last = self._K - 1
+        milestones = []
+        if "sent" not in self._fired:
+            milestones.append((self._a[0][last], 0, "sent", 0))
+        for h in range(self._n_hops):
+            if ("fin", h) not in self._fired:
+                milestones.append((self._w[h][last], 1, "fin", h))
+            if ("acks", h) not in self._fired:
+                milestones.append((self._u[h][last], 2, "acks", h))
+        milestones.sort()
+        self._milestones = milestones
+
+    def _fire(self, kind: str, h: int) -> None:
+        self._fired.add(kind if kind == "sent" else (kind, h))
+        self._release_finished_channels()
+        receiver = self.receivers[h]
+        if kind == "sent":
+            self.sent_count = self._K
+            if not self.sent.triggered:
+                self.sent.succeed()
+        elif kind == "fin":
+            # All packets arrived and the last disk write just landed:
+            # run the *real* finalizer (journal, FNFA, blockReceived) so
+            # its observable timeline and abort semantics are inherited.
+            receiver._bytes_received = self._total_bytes
+            done_write = Event(self.env)
+            done_write._ok = True
+            done_write._value = None
+            done_write.callbacks = None  # already processed
+            proc = self.env.process(
+                receiver._local_finalize(done_write),
+                name=f"fin:{receiver.name}:b{self.block.block_id}",
+            )
+            receiver._procs.append(proc)
+        elif kind == "acks":
+            receiver._acks_done = True
+            receiver._maybe_close()
+            if h == 0:
+                self._settle_success()
+
+    # -- settles -----------------------------------------------------------
+    def _apply_counters(self, sent_rows: list[int], disk_rows: list[int]) -> None:
+        """Batch NIC/flow/disk counters for the given per-hop row counts.
+
+        ``sent_rows[h]`` is the number of packets whose hop-``h`` transfer
+        completed (legacy applies bytes and the FlowSample at transfer
+        end); ``disk_rows[h]`` counts committed disk writes (legacy
+        commits ``bytes_written`` at issue).
+        """
+        stats = self.network.stats
+        for h, (src, dst) in enumerate(self._links):
+            done = sent_rows[h]
+            if not done:
+                continue
+            moved = sum(self._sizes[:done])
+            src.nic.bytes_sent += moved
+            dst.nic.bytes_received += moved
+            src_name, dst_name = src.name, dst.name
+            p_row, a_row = self._p[h], self._a[h]
+            for k in range(done):
+                stats.record(
+                    FlowSample(
+                        src=src_name,
+                        dst=dst_name,
+                        size=self._sizes[k],
+                        start=p_row[k],
+                        end=a_row[k],
+                    )
+                )
+        for h, receiver in enumerate(self.receivers):
+            if disk_rows[h]:
+                receiver.host.disk.bytes_written += sum(
+                    self._sizes[: disk_rows[h]]
+                )
+
+    def _apply_max_buffered(self, upto_rows: Optional[list[int]] = None) -> None:
+        """Analytic §IV-C high-water mark: occupancy at each token grant."""
+        for h, receiver in enumerate(self.receivers):
+            cap = self._caps[h]
+            rel = self._rel[h]
+            rows = len(self._p[h]) if upto_rows is None else upto_rows[h]
+            high = receiver.max_buffered
+            for k in range(rows):
+                occ = k + 1 - bisect_left(rel, self._p[h][k])
+                if occ > cap:
+                    occ = cap
+                if occ > high:
+                    high = occ
+            receiver.max_buffered = high
+
+    def _settle_success(self) -> None:
+        self._finished = True
+        H = self._n_hops
+        rows = [self._K] * H
+        self._apply_counters(rows, rows)
+        self._apply_max_buffered()
+        for channel in self.channels:
+            issues, ends = self._ledger[id(channel)]
+            if ends and ends[-1] > channel._busy_until:
+                channel._busy_until = ends[-1]
+        self._detach()
+        self.sent_count = self._K
+        responder = self.responder
+        responder.ack_queue.clear()
+        responder.acked_count += self._K
+        responder.acked_bytes += self._total_bytes
+        responder.stop()
+        if not responder.block_done.triggered:
+            responder.block_done.succeed(self.block)
+        self.done.succeed(self.block)
+
+    def _on_error(self, event: Event) -> None:
+        """Pipeline error mid-train: settle the committed prefix.
+
+        Runs synchronously inside the error event's callback chain, before
+        the client's race resumes, so every counter and the responder's
+        recovery state are already consistent when Algorithm 3 starts.
+        """
+        if self._finished or self._dead:
+            return
+        self._dead = True
+        now = self.env.now
+        H = self._n_hops
+        computed = len(self._g)
+        # Strictly-before semantics: an action scheduled at exactly the
+        # failure instant would race the kill in legacy; ties are
+        # measure-zero and the conservative reading drops them.
+        arrived = [
+            sum(1 for k in range(min(computed, len(self._a[h])))
+                if self._a[h][k] < now)
+            for h in range(H)
+        ]
+        self._apply_counters(arrived, arrived)
+        for h, receiver in enumerate(self.receivers):
+            receiver._bytes_received = sum(self._sizes[: arrived[h]])
+        granted = [
+            sum(1 for k in range(len(self._p[h])) if self._p[h][k] < now)
+            for h in range(H)
+        ]
+        self._apply_max_buffered(granted)
+        self.sent_count = arrived[0]
+        for channel in self.channels:
+            if id(channel) in self._guarded:
+                self._materialize(channel)
+        self._detach()
+        responder = self.responder
+        acked = sum(1 for k in range(len(self._u[0])) if self._u[0][k] < now)
+        responder.acked_count += acked
+        responder.acked_bytes += sum(self._sizes[:acked])
+        for k in range(acked, arrived[0]):
+            chunk = self.chunks[k]
+            responder.ack_queue.append(
+                Packet(
+                    block=self.block,
+                    seq=chunk.seq,
+                    size=chunk.size,
+                    is_last=chunk.is_last_in_block,
+                )
+            )
+        self._bump()  # wake the conductor so it can exit promptly

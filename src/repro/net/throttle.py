@@ -99,6 +99,18 @@ class ThrottleTable:
         """Call ``listener(table)`` after every add/remove of a rule."""
         self._listeners.append(listener)
 
+    def unsubscribe(self, listener: Callable[["ThrottleTable"], None]) -> None:
+        """Remove a previously subscribed listener (no-op if absent).
+
+        Packet trains subscribe for the lifetime of one block; without
+        removal every settled train would leak a dead listener into every
+        later rule change.
+        """
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _notify(self) -> None:
         for listener in self._listeners:
             listener(self)

@@ -17,7 +17,7 @@ reproduction is built from:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Callable
 
 from ..config import NetworkConfig
 from ..sim import Environment, ProcessGenerator
@@ -100,6 +100,46 @@ class Network:
         self.stats.record(sample)
         return sample
 
+    def transfer_begin(
+        self, src: "Node", dst: "Node", size: int
+    ) -> "tuple[object, Callable[[], FlowSample]]":
+        """Quote a transfer without a generator: ``(done_event, finish)``.
+
+        The inline-send fast path in the clients' packet loops: the caller
+        yields ``done_event`` (an absolute-time timeout at arrival) and, if
+        it was not interrupted, calls ``finish()`` to apply the byte
+        counters and record the :class:`FlowSample` — mirroring exactly
+        what :meth:`transfer` would have done, minus the spawned process.
+        An abandoned transfer (pipeline error) never calls ``finish()``,
+        matching an interrupted :meth:`transfer` process.  Only valid with
+        ``requote_in_flight`` off (callers fall back to :meth:`transfer`).
+        """
+        if size < 0:
+            raise ValueError(f"transfer size must be non-negative, got {size}")
+        start = self.env.now
+        if src is dst:
+            done_event = self.env.timeout(0)
+            loopback = True
+        else:
+            rate = self.effective_rate(src, dst)
+            e_end = src.nic.egress.quote(size, rate)
+            i_end = dst.nic.ingress.quote(size, rate)
+            done = (e_end if e_end > i_end else i_end) + self.config.link_latency
+            done_event = self.env.timeout_at(done)
+            loopback = False
+
+        def finish() -> FlowSample:
+            if not loopback:
+                src.nic.bytes_sent += size
+                dst.nic.bytes_received += size
+            sample = FlowSample(
+                src=src.name, dst=dst.name, size=size, start=start, end=self.env.now
+            )
+            self.stats.record(sample)
+            return sample
+
+        return done_event, finish
+
     def _requote_in_flight(self, _table: ThrottleTable) -> None:
         """Preemption hook: throttle rules changed, re-quote live flows."""
         stale = []
@@ -107,7 +147,7 @@ class Network:
             channel.preempt(
                 lambda res: self.effective_rate(*res.tag) if res.tag else None
             )
-            if not channel._in_flight:
+            if not channel.has_in_flight:
                 stale.append(channel)
         self._preemptible_channels.difference_update(stale)
 

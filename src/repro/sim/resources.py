@@ -85,7 +85,7 @@ class Channel:
       in flight (``tc``-style mid-transfer rate changes).
     """
 
-    __slots__ = ("env", "name", "_busy_until", "_in_flight")
+    __slots__ = ("env", "name", "_busy_until", "_in_flight", "_guard")
 
     def __init__(self, env: Environment, name: str = "channel"):
         self.env = env
@@ -93,6 +93,11 @@ class Channel:
         self._busy_until = 0.0
         #: Live reservations, FIFO by start time; pruned lazily.
         self._in_flight: Deque[Reservation] = deque()
+        #: Optional pre-quote hook.  A packet train holds occupancy of a
+        #: channel analytically (no committed ``busy_until``); the guard
+        #: lets it materialise that occupancy the instant a *foreign*
+        #: caller quotes the same channel, so FIFO ordering stays exact.
+        self._guard: Optional[Callable[[], None]] = None
 
     @property
     def busy_until(self) -> float:
@@ -114,6 +119,16 @@ class Channel:
         now = self.env.now
         return sum(1 for r in self._in_flight if r.start > now)
 
+    @property
+    def has_in_flight(self) -> bool:
+        """Whether any event-based reservation is still in flight.
+
+        Public accessor for preemption hooks (``quote`` occupancies are
+        fire-and-forget and never show up here).
+        """
+        self._prune()
+        return bool(self._in_flight)
+
     def quote(self, size: float, rate: float) -> float:
         """Commit ``size`` bytes at ``rate`` B/s; return the completion time.
 
@@ -123,6 +138,8 @@ class Channel:
         """
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
+        if self._guard is not None:
+            self._guard()
         now = self.env.now
         start = self._busy_until if self._busy_until > now else now
         end = start + size / rate
@@ -139,6 +156,8 @@ class Channel:
         """Commit an occupancy and return an event firing at completion."""
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")
+        if self._guard is not None:
+            self._guard()
         now = self.env.now
         start = self._busy_until if self._busy_until > now else now
         end = start + size / rate

@@ -31,6 +31,7 @@ from ..hdfs.client.recovery import recover_pipeline
 from ..hdfs.client.responder import PacketResponder
 from ..hdfs.deployment import HdfsDeployment
 from ..hdfs.protocol import DatanodeDead, Packet, WriteResult
+from ..hdfs.train import plan_train
 from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store, race
 from .local_opt import LocalOptimizer
 from .pipeline import PipelineState, SmarthPipeline
@@ -265,6 +266,27 @@ class SmarthClient:
         env = self.env
         handle = pipeline.handle
 
+        # Steady-state fast path: hand the whole block to one packet
+        # train (see repro.hdfs.train).  Only a completely fresh attempt
+        # qualifies — any produced/sent/acked state means a resend, whose
+        # per-packet bookkeeping the train does not reproduce.
+        if (
+            not pipeline.produced
+            and not pipeline.sent_seqs
+            and not pipeline.acked_seqs
+            and pipeline.recoveries == 0
+        ):
+            train = plan_train(
+                self.deployment,
+                self.node,
+                handle,
+                pipeline.responder,
+                data_queue,
+                pipeline.plan,
+            )
+            if train is not None:
+                return (yield from self._stream_train(pipeline, train, watch_flag))
+
         for seq in pipeline.pending_seqs():
             packet = pipeline.produced.get(seq)
             if packet is None:
@@ -308,6 +330,56 @@ class SmarthClient:
     ) -> ProcessGenerator:
         """Deliver one packet to the first datanode (reserve + transfer)."""
         yield from pipeline.handle.receivers[0].send_in(self.node, packet)
+
+    def _stream_train(
+        self, pipeline: SmarthPipeline, train, watch_flag: bool
+    ) -> ProcessGenerator:
+        """Run one block's transmission as a coalesced packet train.
+
+        Resumes at the legacy "last packet delivered to the first
+        datanode" instant (``train.sent``); the train itself keeps
+        conducting the downstream hops and the ACK walk in the
+        background, settling the responder at the legacy block-done time.
+        Unlike the per-packet loop this does not pause mid-block when
+        *another* pipeline fails — the error set is serviced right after
+        this block finishes streaming, which is protocol-legal (the block
+        being streamed is healthy) but not packet-for-packet identical,
+        so it can only happen via a direct unscheduled kill (scheduled
+        disturbances decline the train up front).
+        """
+        env = self.env
+        handle = pipeline.handle
+        train.start()
+        yield race(env, train.sent, handle.error)
+
+        def mirror(chunk) -> None:
+            pipeline.produced[chunk.seq] = Packet(
+                block=pipeline.block,
+                seq=chunk.seq,
+                size=chunk.size,
+                is_last=chunk.is_last_in_block,
+            )
+
+        if not train.sent.triggered:
+            # The error settle already ran (synchronously, inside the
+            # error event's callbacks); mirror the per-packet loop's
+            # client-side state for Algorithm 4.
+            for chunk in train.chunks:
+                mirror(chunk)
+            if train.pending_get is not None:
+                chunk = yield train.pending_get
+                mirror(chunk)
+            for seq in range(train.sent_count):
+                pipeline.note_sent(seq)
+            return _ERROR, handle.error.value
+
+        for chunk in train.chunks:
+            mirror(chunk)
+        for seq in range(train.sent_count):
+            pipeline.note_sent(seq)
+        if watch_flag and self._error_flag.triggered:
+            return _PAUSED, None
+        return _OK, None
 
     def _await_fnfa(
         self, pipeline: SmarthPipeline, data_queue: Store, buffer_bytes: int

@@ -1,0 +1,133 @@
+"""Edge cases of :meth:`Environment.timeout_at`.
+
+The packet-train conductor leans on two corners of the absolute-time
+timeout that the relative :meth:`Environment.timeout` never exercises:
+scheduling at *exactly* ``now`` (a train milestone can fall on the
+current instant after a replay), and the ordering of a ``timeout_at``
+event against URGENT events queued for the same timestamp (a train
+abort must beat a milestone firing at the kill instant).
+"""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, ProcessGenerator
+
+
+class TestExactNow:
+    def test_timeout_at_now_is_allowed(self):
+        env = Environment()
+        env.run(until=env.timeout(5.0))
+        event = env.timeout_at(env.now)
+        assert event.triggered  # pre-succeeded, waiting in the queue
+        env.run(until=event)
+        assert env.now == 5.0
+
+    def test_timeout_at_now_resumes_in_same_instant(self):
+        env = Environment()
+        seen = []
+
+        def proc(env: Environment) -> ProcessGenerator:
+            yield env.timeout(1.0)
+            yield env.timeout_at(env.now)
+            seen.append(env.now)
+
+        env.process(proc(env))
+        env.run()
+        assert seen == [1.0]
+
+    def test_timeout_at_past_raises(self):
+        env = Environment()
+        env.run(until=env.timeout(2.0))
+        with pytest.raises(ValueError):
+            env.timeout_at(1.999)
+
+    def test_timeout_at_now_orders_after_earlier_same_time_events(self):
+        """Two timeout_at events at one instant fire in creation order."""
+        env = Environment()
+        order = []
+
+        def waiter(env: Environment, event, tag: str) -> ProcessGenerator:
+            yield event
+            order.append(tag)
+
+        first = env.timeout_at(3.0)
+        second = env.timeout_at(3.0)
+        env.process(waiter(env, first, "first"))
+        env.process(waiter(env, second, "second"))
+        env.run()
+        assert order == ["first", "second"]
+
+
+class TestUrgentOrdering:
+    def test_interrupt_beats_timeout_at_scheduled_same_instant(self):
+        """An URGENT interrupt lands before a NORMAL timeout at the same
+        timestamp, even though the timeout entered the heap much earlier.
+
+        This is the ordering the train's error settle relies on: the
+        conductor parked on a milestone ``timeout_at(T)`` must observe an
+        interrupt/abort issued at ``T`` before the milestone fires.
+        """
+        env = Environment()
+        log = []
+        trigger = env.timeout_at(4.0)  # older eid: pops first at t=4.0
+
+        def sleeper(env: Environment) -> ProcessGenerator:
+            try:
+                yield env.timeout_at(4.0)  # younger eid, same instant
+                log.append("timeout")
+            except Interrupt:
+                log.append("interrupted")
+
+        def killer(env: Environment, victim) -> ProcessGenerator:
+            yield trigger
+            victim.interrupt("same-instant kill")
+
+        victim = env.process(sleeper(env))
+        env.process(killer(env, victim))
+        env.run()
+        # At t=4.0 the killer's trigger pops first (older eid) and issues
+        # the interrupt; URGENT priority puts it ahead of the sleeper's
+        # NORMAL timeout still queued for the same instant, so the
+        # sleeper never sees its own timeout fire.
+        assert log == ["interrupted"]
+
+    def test_urgent_preempts_normal_queued_first_at_same_time(self):
+        """URGENT priority outranks eid order within one timestamp."""
+        from repro.sim.environment import URGENT
+        from repro.sim.events import Event
+
+        env = Environment()
+        order = []
+
+        def watch(tag: str):
+            def callback(_event) -> None:
+                order.append(tag)
+
+            return callback
+
+        normal = Event(env)
+        normal._ok = True
+        normal._value = None
+        normal.callbacks.append(watch("normal"))
+        env.schedule_at(normal, 1.0)  # queued first (older eid)
+
+        urgent = Event(env)
+        urgent._ok = True
+        urgent._value = None
+        urgent.callbacks.append(watch("urgent"))
+        env.schedule_at(urgent, 1.0, priority=URGENT)  # queued second
+
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_timeout_at_value_passthrough(self):
+        env = Environment()
+        collected = []
+
+        def proc(env: Environment) -> ProcessGenerator:
+            value = yield env.timeout_at(2.5, value="payload")
+            collected.append((env.now, value))
+
+        env.process(proc(env))
+        env.run()
+        assert collected == [(2.5, "payload")]
