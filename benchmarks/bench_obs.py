@@ -1,0 +1,111 @@
+"""Observability overhead: the repro.obs tracer on the pipeline hot path.
+
+Two claims, one workload (the bench_kernel pipeline upload):
+
+1. **Disabled is free.**  With ``observe=False`` (the default every
+   experiment and test runs under), the instrumented code path must stay
+   at the checked-in ``kernel.pipeline`` events/sec floor — the guard
+   that instrumentation never leaks into the per-packet hot loop.
+2. **Enabled is bounded.**  With ``observe=True`` the simulated timeline
+   is unchanged (tracing is a passive observer) and the wall-clock
+   overhead is recorded in ``BENCH_obs.json`` for trend tracking.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import write_bench_json
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsClient, HdfsDeployment
+from repro.sim import Environment, total_events_processed
+from repro.units import KB, MB
+
+UPLOAD_BYTES = 256 * MB
+FLOORS = json.loads(
+    (pathlib.Path(__file__).parent / "perf_floor.json").read_text()
+)
+
+
+def _run_pipeline_workload(observe: bool):
+    """The bench_kernel pipeline upload, with tracing on or off.
+
+    Returns (duration, events, wall, deployment)."""
+    config = SimulationConfig().with_hdfs(
+        block_size=32 * MB, packet_size=64 * KB
+    )
+    env = Environment()
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=config)
+    deployment = HdfsDeployment(cluster, observe=observe)
+    client = HdfsClient(deployment)
+    events_before = total_events_processed()
+    wall_start = time.perf_counter()
+    result = env.run(
+        until=env.process(client.put("/bench/pipeline.bin", UPLOAD_BYTES))
+    )
+    wall = time.perf_counter() - wall_start
+    events = total_events_processed() - events_before
+    return result.duration, events, wall, deployment
+
+
+def test_observability_overhead(benchmark, results_dir):
+    duration_on, events_on, wall_on, deployment = _run_pipeline_workload(True)
+    duration_off, events_off, wall_off, _ = benchmark.pedantic(
+        lambda: _run_pipeline_workload(False), rounds=1, iterations=1
+    )
+
+    eps_off = round(events_off / wall_off) if wall_off > 0 else 0
+    eps_on = round(events_on / wall_on) if wall_on > 0 else 0
+    overhead_pct = (
+        100.0 * (wall_on - wall_off) / wall_off if wall_off > 0 else 0.0
+    )
+
+    text = (
+        "observability overhead (pipeline upload, 3-replica pipelines)\n"
+        f"upload bytes          : {UPLOAD_BYTES}\n"
+        f"disabled wall seconds : {wall_off:.3f}\n"
+        f"enabled wall seconds  : {wall_on:.3f}\n"
+        f"disabled events/sec   : {eps_off}\n"
+        f"enabled events/sec    : {eps_on}\n"
+        f"enabled overhead      : {overhead_pct:.1f}%\n"
+        f"spans recorded        : {len(deployment.tracer)}\n"
+    )
+    print("\n" + text)
+    (results_dir / "obs_overhead.txt").write_text(text)
+    benchmark.extra_info["events_per_sec"] = eps_off
+    benchmark.extra_info["overhead_pct"] = round(overhead_pct, 1)
+    write_bench_json(
+        results_dir,
+        "obs",
+        "overhead",
+        {
+            "upload_bytes": UPLOAD_BYTES,
+            "disabled_wall_seconds": round(wall_off, 3),
+            "enabled_wall_seconds": round(wall_on, 3),
+            "disabled_events_per_sec": eps_off,
+            "enabled_events_per_sec": eps_on,
+            "enabled_overhead_pct": round(overhead_pct, 1),
+            "spans_recorded": len(deployment.tracer),
+        },
+    )
+
+    # Tracing is a passive observer: identical simulated results, same
+    # heap traffic (the tracer schedules nothing).
+    assert duration_on == duration_off
+    assert events_on == events_off
+
+    # Disabled-mode floor: same budget the kernel.pipeline gate enforces.
+    floor = FLOORS["kernel"]["pipeline"]["events_per_sec"]
+    tolerance = float(FLOORS.get("tolerance", 0.30))
+    allowed = floor * (1.0 - tolerance)
+    assert eps_off >= allowed, (
+        f"tracing-disabled pipeline throughput {eps_off} events/s dropped "
+        f"below the perf floor {floor} (min allowed {allowed:.0f}) — the "
+        f"disabled tracer must stay out of the hot loop"
+    )
+
+    # Enabled mode actually recorded the workload.
+    assert len(deployment.tracer) > 0
+    assert deployment.metrics.counter_value("blocks_total") == 8

@@ -1,0 +1,101 @@
+"""Measure line coverage of ``src/repro`` under the tier-1 suite.
+
+CI enforces coverage with pytest-cov (see the ``coverage`` job in
+``.github/workflows/ci.yml``); this script reproduces the same
+line-coverage number with only the standard library (``sys.settrace``),
+so the ratchet floor can be re-measured in environments where
+coverage.py is not installed.
+
+Usage::
+
+    PYTHONPATH=src python scripts/measure_coverage.py [pytest args...]
+
+Extra arguments are forwarded to pytest (default: the tier-1 suite,
+``-q tests``).  Prints a per-module table and the total percentage; the
+total is what ``--cov-fail-under`` in CI ratchets against (CI's number
+differs by a point or two because coverage.py's notion of executable
+lines is slightly stricter than ``code.co_lines()``).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+SRC_PREFIX = str(SRC)
+
+_executed: dict[str, set[int]] = {}
+
+
+def _local_trace(frame, event, arg):
+    if event == "line":
+        _executed[frame.f_code.co_filename].add(frame.f_lineno)
+    return _local_trace
+
+
+def _global_trace(frame, event, arg):
+    if event == "call" and frame.f_code.co_filename.startswith(SRC_PREFIX):
+        _executed.setdefault(frame.f_code.co_filename, set())
+        return _local_trace
+    return None
+
+
+def _executable_lines(path: Path) -> set[int]:
+    """All line numbers that carry bytecode, per the compiled module."""
+    lines: set[int] = set()
+    stack = [compile(path.read_text(), str(path), "exec")]
+    while stack:
+        code = stack.pop()
+        lines.update(ln for _, _, ln in code.co_lines() if ln is not None)
+        stack.extend(
+            const for const in code.co_consts if hasattr(const, "co_lines")
+        )
+    return lines
+
+
+def main(argv: list[str]) -> int:
+    import pytest
+
+    pytest_args = argv or ["-q", "tests"]
+    threading.settrace(_global_trace)
+    sys.settrace(_global_trace)
+    try:
+        exit_code = pytest.main(pytest_args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if exit_code != 0:
+        print(f"pytest exited {exit_code}; coverage below is partial")
+
+    total_exec = total_hit = 0
+    rows = []
+    for path in sorted(SRC.rglob("*.py")):
+        executable = _executable_lines(path)
+        if not executable:
+            continue
+        hit = _executed.get(str(path), set()) & executable
+        total_exec += len(executable)
+        total_hit += len(hit)
+        rows.append(
+            (
+                str(path.relative_to(REPO)),
+                len(hit),
+                len(executable),
+                100.0 * len(hit) / len(executable),
+            )
+        )
+
+    width = max(len(name) for name, *_ in rows)
+    print(f"\n{'module'.ljust(width)}  covered  executable    pct")
+    for name, hit, executable, pct in rows:
+        print(f"{name.ljust(width)}  {hit:7d}  {executable:10d}  {pct:5.1f}")
+    pct_total = 100.0 * total_hit / total_exec if total_exec else 0.0
+    print(f"{'TOTAL'.ljust(width)}  {total_hit:7d}  {total_exec:10d}  {pct_total:5.1f}")
+    return int(exit_code)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -7,11 +7,14 @@ Commands
 ``experiment``  Regenerate one (or all) of the paper's tables/figures.
 ``scenarios``   List the built-in scenarios.
 ``chaos``       Run a deterministic chaos campaign with invariant checks.
+``trace``       Run a traceable experiment with span tracing and export
+                a Perfetto-loadable Chrome trace (plus Gantt/summary).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -89,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     up.add_argument(
         "--system", choices=("hdfs", "smarth"), default="smarth"
     )
+    up.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="enable span tracing and write a Chrome trace JSON here",
+    )
 
     roundtrip = sub.add_parser(
         "roundtrip", help="upload then read the file back"
@@ -121,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run experiments in a pool of N worker processes "
         "(results are identical to --jobs 1; default 1)",
+    )
+    exp.add_argument(
+        "--trace",
+        metavar="DIR",
+        default=None,
+        help="also write Chrome traces (trace-<id>.json) for requested "
+        "experiments that support tracing",
     )
 
     chaos = sub.add_parser(
@@ -158,16 +174,77 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the JSON report here instead of stdout",
     )
+    chaos.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        default=None,
+        help="write one Chrome trace per (run, protocol) into DIR",
+    )
 
     sub.add_parser("scenarios", help="list built-in scenarios")
+
+    from .obs.trace_cmd import TRACEABLE
+
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced experiment and export a Perfetto-loadable "
+        "Chrome trace",
+    )
+    trace.add_argument(
+        "id", choices=sorted(TRACEABLE), help="traceable experiment id"
+    )
+    trace.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    trace.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="file-size scale factor vs the 1 GB point (default 0.25)",
+    )
+    trace.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="Chrome trace output path (default trace-<id>.json)",
+    )
+    trace.add_argument(
+        "--gantt",
+        metavar="FILE",
+        default=None,
+        help="also write a text Gantt chart here",
+    )
+    trace.add_argument(
+        "--summary",
+        metavar="FILE",
+        default=None,
+        help="write the metrics summary here instead of stdout",
+    )
     return parser
 
 
 def _cmd_upload(args: argparse.Namespace) -> int:
     scenario = _scenario_from_args(args)
     size = parse_size(args.size)
-    outcome = run_upload(scenario, args.system, size, config=experiment_config())
+    outcome = run_upload(
+        scenario,
+        args.system,
+        size,
+        config=experiment_config(),
+        observe=args.trace is not None,
+    )
     result = outcome.result
+    if args.trace is not None:
+        from .obs import chrome_trace_json
+
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(
+                chrome_trace_json(
+                    outcome.deployment.tracer,
+                    label=f"upload {args.system} {scenario.name}",
+                )
+            )
+        print(f"trace    : {args.trace}")
     print(f"scenario : {scenario.description}")
     print(f"system   : {outcome.system}")
     print(f"size     : {fmt_size(size)}")
@@ -227,6 +304,21 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     for result in results:
         print(result.to_text())
         print()
+    if args.trace is not None:
+        from .obs import chrome_trace_json
+        from .obs.trace_cmd import TRACEABLE, run_traced
+
+        os.makedirs(args.trace, exist_ok=True)
+        for experiment_id in ids:
+            if experiment_id not in TRACEABLE:
+                continue
+            run = run_traced(experiment_id, scale=args.scale)
+            out = f"{args.trace}/trace-{experiment_id}.json"
+            with open(out, "w", encoding="utf-8") as handle:
+                handle.write(
+                    chrome_trace_json(run.tracer, label=experiment_id)
+                )
+            print(f"trace: {out}")
     return 0
 
 
@@ -235,7 +327,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         ("hdfs", "smarth") if args.protocol == "both" else (args.protocol,)
     )
     report = run_campaign(
-        args.seed, args.runs, protocols=protocols, scale=args.scale
+        args.seed,
+        args.runs,
+        protocols=protocols,
+        scale=args.scale,
+        trace_dir=args.trace_dir,
     )
     rendered = report_json(report)
     if args.out:
@@ -250,6 +346,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 0 if report["all_green"] else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import chrome_trace_json, render_gantt
+    from .obs.trace_cmd import run_traced
+
+    run = run_traced(args.id, seed=args.seed, scale=args.scale)
+    out = args.out or f"trace-{args.id}.json"
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(run.tracer, label=args.id))
+    print(f"trace: {out}  (load via https://ui.perfetto.dev)", file=sys.stderr)
+    if args.gantt is not None:
+        with open(args.gantt, "w", encoding="utf-8") as handle:
+            handle.write(render_gantt(run.tracer))
+        print(f"gantt: {args.gantt}", file=sys.stderr)
+    if args.summary is not None:
+        with open(args.summary, "w", encoding="utf-8") as handle:
+            handle.write(run.summary)
+    else:
+        print(run.summary, end="")
+    return 0
 
 
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
@@ -271,6 +388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "chaos": _cmd_chaos,
         "scenarios": _cmd_scenarios,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -19,6 +19,7 @@ sub-seed ``seed + i``.
 from __future__ import annotations
 
 import json
+import os
 import random
 from dataclasses import dataclass
 from typing import Optional
@@ -203,17 +204,26 @@ def _defuse_failure(event: Event) -> None:
         event.defuse()
 
 
-def run_schedule(schedule: ChaosSchedule, protocol: str) -> dict:
-    """Execute one schedule under one protocol; returns the run verdict."""
+def run_schedule(
+    schedule: ChaosSchedule, protocol: str, trace_path: Optional[str] = None
+) -> dict:
+    """Execute one schedule under one protocol; returns the run verdict.
+
+    ``trace_path`` opts the run into span tracing (repro.obs) and writes
+    the Chrome ``trace_event`` JSON there after the run settles.  The
+    tracer is a passive observer: the verdict is byte-identical with or
+    without it.
+    """
     if protocol not in _PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; expected hdfs|smarth")
 
     config = schedule.config()
     env, cluster = schedule.scenario().make(config)
+    observe = trace_path is not None
     deployment = (
-        SmarthDeployment(cluster)
+        SmarthDeployment(cluster, observe=observe)
         if protocol == "smarth"
-        else HdfsDeployment(cluster)
+        else HdfsDeployment(cluster, observe=observe)
     )
     monitor = InvariantMonitor(deployment)
     injector = FaultInjector(deployment)
@@ -258,6 +268,17 @@ def run_schedule(schedule: ChaosSchedule, protocol: str) -> dict:
     monitor.stop()
     monitor.finalize(outcome, result)
 
+    if trace_path is not None:
+        from ..obs import chrome_trace_json
+
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(
+                chrome_trace_json(
+                    deployment.tracer,
+                    label=f"chaos seed={schedule.seed} {protocol}",
+                )
+            )
+
     verdict = {
         "protocol": protocol,
         "outcome": outcome,
@@ -281,16 +302,21 @@ def run_campaign(
     runs: int,
     protocols: tuple[str, ...] = _PROTOCOLS,
     scale: float = 1.0,
+    trace_dir: Optional[str] = None,
 ) -> dict:
     """Run ``runs`` schedules (sub-seeds ``seed+i``) under each protocol.
 
     Returns the machine-readable campaign report: per-run schedules and
     verdicts, per-invariant check/violation totals, and a ready-to-paste
-    repro command for every non-green run.
+    repro command for every non-green run.  ``trace_dir`` additionally
+    writes one Chrome trace per (run, protocol) as
+    ``run<index>-<protocol>.json``.
     """
     for protocol in protocols:
         if protocol not in _PROTOCOLS:
             raise ValueError(f"unknown protocol {protocol!r}")
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
 
     totals = {name: {"checks": 0, "violations": 0} for name in INVARIANT_NAMES}
     fault_kinds: dict[str, int] = {}
@@ -306,7 +332,12 @@ def run_campaign(
 
         verdicts = []
         for protocol in protocols:
-            verdict = run_schedule(schedule, protocol)
+            trace_path = (
+                f"{trace_dir}/run{index:03d}-{protocol}.json"
+                if trace_dir is not None
+                else None
+            )
+            verdict = run_schedule(schedule, protocol, trace_path=trace_path)
             verdicts.append(verdict)
             outcomes[verdict["outcome"]] = (
                 outcomes.get(verdict["outcome"], 0) + 1

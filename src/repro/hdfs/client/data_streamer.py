@@ -50,7 +50,14 @@ class HdfsClient:
         """
         hdfs_cfg = self.config.hdfs
         namenode = self.deployment.namenode
+        tracer = self.deployment.tracer
+        metrics = self.deployment.metrics
+        actor = f"client:{self.name}"
         start = self.env.now
+        t_upload = tracer.begin(
+            "upload", actor, f"upload:{path}", start,
+            size=size, system=self.system,
+        )
 
         # Step 1: create the namespace entry.
         yield from namenode.create_file(self.name, path)
@@ -72,11 +79,21 @@ class HdfsClient:
                 self.name, path, plan.size, excluded=blacklist
             )
             block, targets = result.block, result.targets
+            track = f"b{block.block_id}"
+            t_block = tracer.begin(
+                "block", actor, track, self.env.now,
+                parent=t_upload, size=plan.size,
+            )
+            metrics.count("blocks_total")
 
             produced: dict[int, Packet] = {}
             acked_seqs: set[int] = set()
 
             while True:  # retry loop around pipeline failures
+                t_attempt = tracer.begin(
+                    "pipeline", actor, track, self.env.now,
+                    parent=t_block, targets=targets,
+                )
                 try:
                     handle = self.deployment.open_pipeline(
                         block,
@@ -91,17 +108,27 @@ class HdfsClient:
                     # recovery) can hand out a target that is already
                     # down.  Same treatment as a mid-stream failure.
                     failed = dead.datanode
+                    tracer.end(
+                        t_attempt, self.env.now, aborted=True, failed=failed
+                    )
                 else:
+                    metrics.gauge("pipelines_live", +1)
                     yield self.env.process(
                         self.network.connection_setup(len(targets))
                     )
                     responder = PacketResponder(self.env, block, handle.ack_in)
 
                     failed = yield from self._stream_block(
-                        plan, block, handle, responder, produced, acked_seqs, data_queue
+                        plan, block, handle, responder, produced, acked_seqs,
+                        data_queue, track, t_attempt,
                     )
+                    metrics.gauge("pipelines_live", -1)
                     if failed is None:
+                        tracer.end(t_attempt, self.env.now)
                         break
+                    tracer.end(
+                        t_attempt, self.env.now, aborted=True, failed=failed
+                    )
                     handle.teardown()
                     responder.stop()
                     responder.unacked_packets()  # drained; resent via acked_seqs
@@ -118,6 +145,7 @@ class HdfsClient:
                     failed,
                     acked_bytes,
                     blacklist,
+                    trace_parent=t_block,
                 )
                 produced = {
                     seq: Packet(block, pkt.seq, pkt.size, pkt.is_last)
@@ -130,10 +158,12 @@ class HdfsClient:
                 f"block:{block.block_id}",
                 client=self.name,
             )
+            tracer.end(t_block, self.env.now)
             pipelines.append(targets)
 
         # Steps 5–6: close the stream and complete the file.
         yield from namenode.complete_file(self.name, path)
+        tracer.end(t_upload, self.env.now)
 
         return WriteResult(
             path=path,
@@ -157,12 +187,20 @@ class HdfsClient:
         produced: dict[int, Packet],
         acked_seqs: set[int],
         data_queue: Store,
+        track: str = "",
+        t_attempt: int = 0,
     ) -> ProcessGenerator:
         """Send one block's packets and wait for all ACKs (stop-and-wait).
 
         Returns ``None`` on success or the failed datanode's name.
         """
+        tracer = self.deployment.tracer
+        actor = f"client:{self.name}"
         to_send = [s for s in range(plan.n_packets) if s not in acked_seqs]
+        t_stream = tracer.begin(
+            "stream", actor, track, self.env.now,
+            parent=t_attempt, packets=len(to_send),
+        )
 
         # Steady-state fast path: coalesce the whole block into one
         # analytically-conducted packet train (see repro.hdfs.train).
@@ -198,8 +236,30 @@ class HdfsClient:
                         size=chunk.size,
                         is_last=chunk.is_last_in_block,
                     )
+                # Close the client spans at the legacy instants: if the
+                # "sent" milestone fired before the failure the stream
+                # span ended there and the ack wait dies now; otherwise
+                # the stream span dies with the pipeline — after the
+                # pending-get drain, exactly when a legacy streamer
+                # parked on the data queue would have seen the error.
+                if train.sent.triggered:
+                    tracer.end(t_stream, train.sent_at)
+                    t_ack = tracer.begin(
+                        "ack", actor, track, train.sent_at, parent=t_attempt
+                    )
+                    tracer.end(t_ack, self.env.now, aborted=True)
+                else:
+                    tracer.end(t_stream, self.env.now, aborted=True)
                 self._note_acked(responder, acked_seqs, to_send)
                 return handle.error.value
+            # Success: the legacy loop exits at the last packet's
+            # first-hop arrival (= the train's "sent" milestone) and the
+            # ack wait runs from there to block-done (= right now).
+            tracer.end(t_stream, train.sent_at)
+            t_ack = tracer.begin(
+                "ack", actor, track, train.sent_at, parent=t_attempt
+            )
+            tracer.end(t_ack, self.env.now)
             self._note_acked(responder, acked_seqs, to_send)
             return None
 
@@ -231,20 +291,26 @@ class HdfsClient:
                 if handle.error.triggered:
                     if send.is_alive:
                         send.interrupt("pipeline failed")
+                    tracer.end(t_stream, self.env.now, aborted=True)
                     self._note_acked(responder, acked_seqs, to_send)
                     return handle.error.value
             else:
                 failed = yield from self._send_packet_inline(first, packet, handle)
                 if failed is not None:
+                    tracer.end(t_stream, self.env.now, aborted=True)
                     self._note_acked(responder, acked_seqs, to_send)
                     return failed
             responder.packet_sent(packet)
 
+        tracer.end(t_stream, self.env.now)
+        t_ack = tracer.begin("ack", actor, track, self.env.now, parent=t_attempt)
         # §II step 4/5: block boundary — wait for every packet's ACK.
         yield race(self.env, responder.block_done, handle.error)
         if not responder.block_done.triggered:
+            tracer.end(t_ack, self.env.now, aborted=True)
             self._note_acked(responder, acked_seqs, to_send)
             return handle.error.value
+        tracer.end(t_ack, self.env.now)
         self._note_acked(responder, acked_seqs, to_send)
         return None
 

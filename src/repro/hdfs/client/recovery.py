@@ -40,6 +40,7 @@ def recover_pipeline(
     failed: str,
     acked_bytes: int,
     blacklist: set[str],
+    trace_parent: int = 0,
 ) -> ProcessGenerator:
     """Rebuild a damaged pipeline; returns ``(new_block, new_targets)``.
 
@@ -49,6 +50,18 @@ def recover_pipeline(
     """
     env = deployment.env
     namenode = deployment.namenode
+    tracer = deployment.tracer
+    t0 = env.now
+    sid = tracer.begin(
+        "recovery",
+        f"client:{client_name}",
+        f"b{block.block_id}",
+        t0,
+        parent=trace_parent,
+        failed=failed,
+        acked_bytes=acked_bytes,
+    )
+    deployment.metrics.count("recovery_count")
 
     survivors = [
         t
@@ -58,6 +71,7 @@ def recover_pipeline(
 
     while True:
         if not survivors:
+            tracer.end(sid, env.now, aborted=True)
             raise RecoveryFailed(
                 f"block {block.block_id}: no surviving datanodes"
             )
@@ -102,6 +116,8 @@ def recover_pipeline(
                 targets=tuple(new_targets),
                 generation=new_block.generation,
             )
+            tracer.end(sid, env.now, primary=primary)
+            deployment.metrics.observe("recovery_duration", env.now - t0)
             return new_block, tuple(new_targets)
 
         # The primary died mid-recovery: Algorithm 3 line 13 — drop it

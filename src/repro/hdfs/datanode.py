@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING, Optional
 from ..cluster.node import Node
 from ..config import HdfsConfig
 from ..net.transport import Network
+from ..obs import DISABLED_METRICS, DISABLED_TRACER, MetricsRegistry, Tracer
 from ..sim import Environment, Event, Interrupt, Process, ProcessGenerator, Store
 from .protocol import FNFA, Ack, Block, DatanodeDead, Packet
 
@@ -110,6 +111,17 @@ class BlockReceiver:
         self._acks_done = False
         self._aborted = False
 
+        # Span-granularity tracing: one store/forward/ack span per block
+        # per hop, identical in legacy and packet-train mode (the train
+        # closes them at the analytically identical times).
+        tracer = datanode.tracer
+        actor = f"datanode:{datanode.name}"
+        bt = f"b{block.block_id}"
+        now = self.env.now
+        self._trace_store = tracer.begin("store", actor, f"{bt}:store", now)
+        self._trace_ack = tracer.begin("ack_relay", actor, f"{bt}:ack", now)
+        self._trace_fwd = 0  # opened by _start_forwarder on non-tail hops
+
         label = f"{datanode.name}:b{block.block_id}"
         self._procs: list[Process] = [
             self.env.process(self._run(), name=f"recv:{label}"),
@@ -179,6 +191,11 @@ class BlockReceiver:
         self._aborted = True
         if failed_datanode is not None:
             trigger_pipeline_error(self.error, failed_datanode)
+        tracer = self.datanode.tracer
+        now = self.env.now
+        tracer.end(self._trace_store, now, aborted=True)
+        tracer.end(self._trace_fwd, now, aborted=True)
+        tracer.end(self._trace_ack, now, aborted=True)
         for proc in self._procs:
             # A receiver loop may abort its own receiver (e.g. on seeing a
             # dead peer); it returns by itself, so never self-interrupt.
@@ -188,6 +205,12 @@ class BlockReceiver:
 
     # -- internals ----------------------------------------------------------
     def _start_forwarder(self) -> None:
+        self._trace_fwd = self.datanode.tracer.begin(
+            "forward",
+            f"datanode:{self.datanode.name}",
+            f"b{self.block.block_id}:forward",
+            self.env.now,
+        )
         self._procs.append(
             self.env.process(
                 self._forward_loop(),
@@ -237,6 +260,7 @@ class BlockReceiver:
                 yield from self.downstream.send_in(self.host, packet)
                 yield self._buffer_tokens.get()  # space freed
                 if packet.is_last:
+                    self.datanode.tracer.end(self._trace_fwd, self.env.now)
                     return
         except Interrupt:
             return
@@ -251,6 +275,9 @@ class BlockReceiver:
             if not last_write.processed:
                 yield last_write
             self._finalized = True
+            self.datanode.tracer.end(
+                self._trace_store, self.env.now, bytes=self._bytes_received
+            )
             if self.datanode.namenode is not None:
                 self.datanode.namenode.journal.emit(
                     self.env.now,
@@ -306,6 +333,7 @@ class BlockReceiver:
                 )
 
                 if packet.is_last:
+                    self.datanode.tracer.end(self._trace_ack, self.env.now)
                     self._acks_done = True
                     self._maybe_close()
                     return
@@ -326,11 +354,15 @@ class Datanode:
         node: Node,
         network: Network,
         config: HdfsConfig,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.node = node
         self.network = network
         self.config = config
+        self.tracer = tracer if tracer is not None else DISABLED_TRACER
+        self.metrics = metrics if metrics is not None else DISABLED_METRICS
         self.namenode: Optional["Namenode"] = None
         self._active: set[BlockReceiver] = set()
         self._heartbeat_proc: Optional[Process] = None

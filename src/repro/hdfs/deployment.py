@@ -16,6 +16,7 @@ from ..analysis.trace import Journal
 from ..cluster.builder import Cluster
 from ..cluster.node import Node
 from ..config import SimulationConfig
+from ..obs import MetricsRegistry, Tracer
 from ..sim import Environment, Event, Store
 from .datanode import BlockReceiver, Datanode
 from .namenode import Namenode
@@ -62,6 +63,7 @@ class HdfsDeployment:
         placement: Optional[PlacementPolicy] = None,
         config: Optional[SimulationConfig] = None,
         enable_replication_monitor: bool = True,
+        observe: bool = False,
     ):
         self.cluster = cluster
         self.config = config or cluster.config
@@ -70,6 +72,12 @@ class HdfsDeployment:
         #: Structured protocol trace shared by every service on this
         #: deployment (see repro.analysis.trace).
         self.journal = Journal()
+        #: Span tracing + metrics (repro.obs).  Disabled by default —
+        #: every instrument call then short-circuits on one predicate.
+        self.tracer = Tracer(enabled=observe)
+        self.metrics = MetricsRegistry(enabled=observe)
+        if observe:
+            self.tracer.attach_journal(self.journal)
         #: Simulated times at which a fault/throttle disturbance is
         #: *scheduled* (FaultInjector registers them up front).  The
         #: packet-train planner consults this to refuse coalescing any
@@ -84,10 +92,15 @@ class HdfsDeployment:
             placement=placement,
             seed=self.config.seed,
             journal=self.journal,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self.datanodes: dict[str, Datanode] = {}
         for host in cluster.datanode_hosts:
-            datanode = Datanode(self.env, host, self.network, self.config.hdfs)
+            datanode = Datanode(
+                self.env, host, self.network, self.config.hdfs,
+                tracer=self.tracer, metrics=self.metrics,
+            )
             datanode.register_with(self.namenode)
             self.datanodes[host.name] = datanode
 
@@ -169,6 +182,7 @@ class HdfsDeployment:
             generation=block.generation,
             client=client_node.name,
         )
+        self.metrics.count("pipelines_opened")
         return PipelineHandle(
             block=block,
             targets=targets,

@@ -22,6 +22,7 @@ from ..analysis.trace import Journal
 from ..cluster.node import Node
 from ..config import HdfsConfig
 from ..net.transport import Network
+from ..obs import DISABLED_METRICS, DISABLED_TRACER, MetricsRegistry, Tracer
 from ..sim import Environment, ProcessGenerator
 from .block_manager import BlockManager
 from .datanode_manager import DatanodeManager
@@ -77,6 +78,8 @@ class Namenode:
         placement: Optional[PlacementPolicy] = None,
         seed: int = 0,
         journal: Optional[Journal] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.env = env
         self.node = node
@@ -88,6 +91,8 @@ class Namenode:
         self.speeds = SpeedRegistry()
         self.rng = random.Random(seed)
         self.journal = journal if journal is not None else Journal(enabled=False)
+        self.tracer = tracer if tracer is not None else DISABLED_TRACER
+        self.metrics = metrics if metrics is not None else DISABLED_METRICS
         self.placement: PlacementPolicy = placement or DefaultPlacementPolicy(
             network.topology, self.datanodes, self.rng
         )
@@ -118,11 +123,20 @@ class Namenode:
 
         Returns a :class:`BlockTargets` (as the process's value).
         """
+        t0 = self.env.now
+        sid = self.tracer.begin(
+            "allocate", "namenode", f"allocate:{client}", t0,
+            client=client, path=path,
+        )
         yield from self._rpc()
         inode = self.namespace.check_lease(path, client)
+        rank = self.tracer.begin(
+            "rank", "namenode", f"allocate:{client}", self.env.now, parent=sid,
+        )
         targets = self.placement.choose_targets(
             client, self.config.replication, excluded
         )
+        self.tracer.end(rank, self.env.now, targets=targets)
         block = self.blocks.allocate(path, index=len(inode.blocks), size=size)
         self.blocks.expect_replicas(block.block_id, targets)
         self.namespace.append_block(path, client, block)
@@ -134,6 +148,8 @@ class Namenode:
             client=client,
             targets=targets,
         )
+        self.tracer.end(sid, self.env.now, block=block.block_id)
+        self.metrics.observe("allocate_latency", self.env.now - t0)
         return BlockTargets(block=block, targets=targets)
 
     def get_additional_datanode(
@@ -181,8 +197,14 @@ class Namenode:
 
     def client_heartbeat(self, client: str, records: dict[str, float]) -> ProcessGenerator:
         """SMARTH §III-B: speed records piggybacked on the heartbeat."""
+        sid = self.tracer.begin(
+            "heartbeat", "namenode", f"heartbeat:{client}", self.env.now,
+            client=client,
+        )
         yield from self._rpc()
         self.speeds.update(client, records)
+        self.tracer.end(sid, self.env.now)
+        self.metrics.count("heartbeats_total")
 
     # -- datanode-facing (synchronous, reached via control messages) -----------
     def register_datanode(self, name: str, rack: str) -> None:

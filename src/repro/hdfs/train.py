@@ -170,6 +170,10 @@ class PacketTrain:
         #: Fires at the last packet's first-hop arrival (legacy "all
         #: packets sent" point — SMARTH's send loop resumes here).
         self.sent: Event = self.env.event()
+        #: Simulated time the "sent" milestone fired (the baseline client
+        #: races ``done`` rather than ``sent``, so it reads this to close
+        #: its stream span at the legacy loop-exit instant).
+        self.sent_at: float = 0.0
         #: Chunks actually consumed from the data queue, in order.
         self.chunks: list = []
         #: A data-queue get issued but not yet satisfied when the train
@@ -225,6 +229,7 @@ class PacketTrain:
         self._snapshot_rates()
         self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
         self._ledger = {id(ch): ([], []) for ch in self.channels}
+        self.deployment.metrics.count("trains_conducted")
         self.env.process(
             self._conduct(), name=f"train:b{self.block.block_id}"
         )
@@ -411,6 +416,7 @@ class PacketTrain:
     def _maybe_replay(self) -> None:
         if self._flag.triggered:
             self._flag = self.env.event()
+            self.deployment.metrics.count("train_invalidation_count")
             self._replay()
 
     # -- the conductor -----------------------------------------------------
@@ -481,6 +487,7 @@ class PacketTrain:
         receiver = self.receivers[h]
         if kind == "sent":
             self.sent_count = self._K
+            self.sent_at = self.env.now
             if not self.sent.triggered:
                 self.sent.succeed()
         elif kind == "fin":
@@ -498,6 +505,15 @@ class PacketTrain:
             )
             receiver._procs.append(proc)
         elif kind == "acks":
+            # Close the receiver's trace spans at the legacy instants:
+            # the ACK relay retires right now (u[h][last]); the forwarder
+            # of a non-tail hop retired at the last packet's downstream
+            # arrival — already past, so pass the analytic time and let
+            # the exporter's canonical sort restore order.
+            tracer = receiver.datanode.tracer
+            tracer.end(receiver._trace_ack, self.env.now)
+            if h < self._n_hops - 1:
+                tracer.end(receiver._trace_fwd, self._a[h + 1][self._K - 1])
             receiver._acks_done = True
             receiver._maybe_close()
             if h == 0:

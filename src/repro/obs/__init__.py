@@ -1,0 +1,39 @@
+"""repro.obs — simulator-time tracing and metrics.
+
+A cross-cutting observability layer: :class:`Tracer` records nested spans
+over simulated time (upload → block → pipeline → stream/store/forward/
+ack/recovery, plus namenode allocate/rank/heartbeat),
+:class:`MetricsRegistry` aggregates counters/gauges/histograms alongside,
+and the exporters render Chrome ``trace_event`` JSON (Perfetto-loadable),
+a text Gantt, and a metrics summary table.  Enable per deployment with
+``HdfsDeployment(cluster, observe=True)`` or from the CLI via
+``python -m repro trace <experiment>``.
+"""
+
+from .export import chrome_trace_json, metrics_summary, render_gantt
+from .metrics import (
+    DISABLED_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import DISABLED_TRACER, Instant, Span, Tracer
+from .wellformed import WellformednessError, check_wellformed
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "Instant",
+    "DISABLED_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DISABLED_METRICS",
+    "chrome_trace_json",
+    "render_gantt",
+    "metrics_summary",
+    "check_wellformed",
+    "WellformednessError",
+]

@@ -1,0 +1,100 @@
+"""Span well-formedness checker, run over every traced test.
+
+Three invariants, checked structurally (not against goldens, so any
+traced run can assert them):
+
+1. **Interval sanity** — every closed span has ``end >= start``; no span
+   is left open at the end of a run unless explicitly allowed (teardown
+   paths mark theirs ``aborted``).
+2. **Track nesting** — within one (actor, track) lane, spans form a
+   proper stack: a span starting inside another must end inside it.
+   Overlap without containment means two unrelated machines were traced
+   onto one lane.
+3. **Parent containment** — a span with an explicit parent must lie
+   within the parent's interval (same-timestamp touching allowed: a
+   recovery attempt can start the instant its block span did).
+"""
+
+from __future__ import annotations
+
+from .spans import Span, Tracer
+
+__all__ = ["check_wellformed", "WellformednessError"]
+
+#: Slack for float comparisons between analytically-computed and
+#: event-loop-observed times; far below any packet service time.
+_EPS = 1e-9
+
+
+class WellformednessError(AssertionError):
+    pass
+
+
+def check_wellformed(tracer: Tracer, allow_open: bool = False) -> None:
+    """Raise :class:`WellformednessError` on the first violated invariant."""
+    spans = tracer.spans()
+    by_id = {s.id: s for s in spans}
+
+    for span in spans:
+        if span.end is None:
+            if allow_open or span.args.get("aborted"):
+                continue
+            raise WellformednessError(f"span left open: {_describe(span)}")
+        if span.end < span.start - _EPS:
+            raise WellformednessError(
+                f"end < start: {_describe(span)} "
+                f"(start={span.start}, end={span.end})"
+            )
+
+    _check_track_nesting(spans)
+    _check_parent_containment(spans, by_id)
+
+
+def _check_track_nesting(spans) -> None:
+    lanes: dict[tuple[str, str], list[Span]] = {}
+    for span in spans:
+        if span.end is None:
+            continue
+        lanes.setdefault((span.actor, span.track), []).append(span)
+
+    for (actor, track), lane in lanes.items():
+        lane.sort(key=lambda s: (s.start, -(s.end - s.start), s.id))
+        stack: list[Span] = []
+        for span in lane:
+            while stack and stack[-1].end <= span.start + _EPS:
+                stack.pop()
+            if stack and span.end > stack[-1].end + _EPS:
+                raise WellformednessError(
+                    f"overlap without nesting on {actor}/{track}: "
+                    f"{_describe(span)} crosses end of {_describe(stack[-1])}"
+                )
+            stack.append(span)
+
+
+def _check_parent_containment(spans, by_id) -> None:
+    for span in spans:
+        if span.parent == 0:
+            continue
+        parent = by_id.get(span.parent)
+        if parent is None:
+            raise WellformednessError(
+                f"dangling parent id {span.parent} on {_describe(span)}"
+            )
+        if span.start < parent.start - _EPS:
+            raise WellformednessError(
+                f"child starts before parent: {_describe(span)} "
+                f"inside {_describe(parent)}"
+            )
+        if (
+            span.end is not None
+            and parent.end is not None
+            and span.end > parent.end + _EPS
+        ):
+            raise WellformednessError(
+                f"child outlives parent: {_describe(span)} "
+                f"inside {_describe(parent)}"
+            )
+
+
+def _describe(span: Span) -> str:
+    return f"{span.name}#{span.id}[{span.actor}/{span.track}]"

@@ -29,11 +29,13 @@ class SmarthDeployment(HdfsDeployment):
         cluster: Cluster,
         config: Optional[SimulationConfig] = None,
         enable_replication_monitor: bool = True,
+        observe: bool = False,
     ):
         super().__init__(
             cluster,
             config=config,
             enable_replication_monitor=enable_replication_monitor,
+            observe=observe,
         )
         cfg = self.config
         self.namenode.placement = SmarthPlacementPolicy(

@@ -87,6 +87,7 @@ class SmarthClient:
         self._blacklist: set[str] = set()
         self._recoveries = 0
         self._max_concurrent = 0
+        self._trace_upload = 0
 
     # ------------------------------------------------------------------
     def put(self, path: str, size: int) -> ProcessGenerator:
@@ -96,6 +97,11 @@ class SmarthClient:
         hdfs_cfg = self.config.hdfs
         smarth_cfg = self.config.smarth
         start = env.now
+        tracer = self.deployment.tracer
+        self._trace_upload = tracer.begin(
+            "upload", f"client:{self.name}", f"upload:{path}", start,
+            size=size, system=self.system,
+        )
 
         yield from namenode.create_file(self.name, path)
 
@@ -139,6 +145,7 @@ class SmarthClient:
         yield from namenode.complete_file(self.name, path)
         if self._reporter.is_alive:
             self._reporter.interrupt("upload finished")
+        tracer.end(self._trace_upload, env.now)
 
         return WriteResult(
             path=path,
@@ -197,6 +204,11 @@ class SmarthClient:
         )
         targets = self.local_opt.reorder(result.targets)
         pipeline = SmarthPipeline(self.env, plan, result.block, targets, slot)
+        pipeline.trace_block = self.deployment.tracer.begin(
+            "block", f"client:{self.name}", f"b{result.block.block_id}",
+            self.env.now, parent=self._trace_upload, size=plan.size,
+        )
+        self.deployment.metrics.count("blocks_total")
         while True:
             try:
                 yield from self._build_streams(pipeline, buffer_bytes)
@@ -215,25 +227,38 @@ class SmarthClient:
                     dead.datanode,
                     0,
                     excluded,
+                    trace_parent=pipeline.trace_block,
                 )
                 pipeline.rebind_block(new_block, new_targets)
                 continue
             break
         pipeline.started_at = self.env.now
+        self.deployment.metrics.gauge("pipelines_live", 1)
         return pipeline
 
     def _build_streams(
         self, pipeline: SmarthPipeline, buffer_bytes: int
     ) -> ProcessGenerator:
         """Open receivers + responder for the pipeline's current targets."""
-        handle = self.deployment.open_pipeline(
-            pipeline.block,
-            pipeline.targets,
-            self.node,
-            want_fnfa=not pipeline.fnfa_received,
-            buffer_bytes=buffer_bytes,
-            initial_bytes=pipeline.acked_bytes,
+        tracer = self.deployment.tracer
+        pipeline.trace_attempt = tracer.begin(
+            "pipeline", f"client:{self.name}", f"b{pipeline.block.block_id}",
+            self.env.now, parent=pipeline.trace_block,
+            targets=pipeline.targets,
         )
+        try:
+            handle = self.deployment.open_pipeline(
+                pipeline.block,
+                pipeline.targets,
+                self.node,
+                want_fnfa=not pipeline.fnfa_received,
+                buffer_bytes=buffer_bytes,
+                initial_bytes=pipeline.acked_bytes,
+            )
+        except DatanodeDead:
+            tracer.end(pipeline.trace_attempt, self.env.now, aborted=True)
+            pipeline.trace_attempt = 0
+            raise
         yield self.env.process(
             self.network.connection_setup(len(pipeline.targets))
         )
@@ -249,6 +274,11 @@ class SmarthClient:
             status, failed = yield from self._send_seqs(pipeline, data_queue)
             if status == _OK:
                 pipeline.fully_streamed = True
+                pipeline.trace_ack = self.deployment.tracer.begin(
+                    "ack", f"client:{self.name}",
+                    f"b{pipeline.block.block_id}",
+                    self.env.now, parent=pipeline.trace_attempt,
+                )
                 return
             if status == _ERROR:
                 self._enqueue_error(pipeline, failed)
@@ -265,6 +295,11 @@ class SmarthClient:
         """
         env = self.env
         handle = pipeline.handle
+        tracer = self.deployment.tracer
+        t_stream = tracer.begin(
+            "stream", f"client:{self.name}", f"b{pipeline.block.block_id}",
+            env.now, parent=pipeline.trace_attempt,
+        )
 
         # Steady-state fast path: hand the whole block to one packet
         # train (see repro.hdfs.train).  Only a completely fresh attempt
@@ -285,7 +320,11 @@ class SmarthClient:
                 pipeline.plan,
             )
             if train is not None:
-                return (yield from self._stream_train(pipeline, train, watch_flag))
+                return (
+                    yield from self._stream_train(
+                        pipeline, train, watch_flag, t_stream
+                    )
+                )
 
         for seq in pipeline.pending_seqs():
             packet = pipeline.produced.get(seq)
@@ -312,6 +351,7 @@ class SmarthClient:
             if handle.error.triggered:
                 if send.is_alive:
                     send.interrupt("pipeline failed")
+                tracer.end(t_stream, env.now, aborted=True)
                 return _ERROR, handle.error.value
             if watch_flag and self._error_flag.triggered:
                 # Algorithm 4 line 1: another pipeline failed — stop the
@@ -320,9 +360,11 @@ class SmarthClient:
                     yield send
                 pipeline.note_sent(seq)
                 pipeline.responder.packet_sent(packet)
+                tracer.end(t_stream, env.now, paused=True)
                 return _PAUSED, None
             pipeline.note_sent(seq)
             pipeline.responder.packet_sent(packet)
+        tracer.end(t_stream, env.now)
         return _OK, None
 
     def _send_packet(
@@ -332,7 +374,11 @@ class SmarthClient:
         yield from pipeline.handle.receivers[0].send_in(self.node, packet)
 
     def _stream_train(
-        self, pipeline: SmarthPipeline, train, watch_flag: bool
+        self,
+        pipeline: SmarthPipeline,
+        train,
+        watch_flag: bool,
+        t_stream: int = 0,
     ) -> ProcessGenerator:
         """Run one block's transmission as a coalesced packet train.
 
@@ -349,6 +395,7 @@ class SmarthClient:
         """
         env = self.env
         handle = pipeline.handle
+        tracer = self.deployment.tracer
         train.start()
         yield race(env, train.sent, handle.error)
 
@@ -371,12 +418,17 @@ class SmarthClient:
                 mirror(chunk)
             for seq in range(train.sent_count):
                 pipeline.note_sent(seq)
+            # Close after the pending-get drain: a per-packet sender
+            # parked on the data queue only observes the error once the
+            # chunk arrives, and the span end must match that instant.
+            tracer.end(t_stream, env.now, aborted=True)
             return _ERROR, handle.error.value
 
         for chunk in train.chunks:
             mirror(chunk)
         for seq in range(train.sent_count):
             pipeline.note_sent(seq)
+        tracer.end(t_stream, env.now)
         if watch_flag and self._error_flag.triggered:
             return _PAUSED, None
         return _OK, None
@@ -386,9 +438,16 @@ class SmarthClient:
     ) -> ProcessGenerator:
         """Block until the first datanode confirms the whole block."""
         env = self.env
+        tracer = self.deployment.tracer
+        t_fnfa = tracer.begin(
+            "fnfa_wait", f"client:{self.name}",
+            f"b{pipeline.block.block_id}:fnfa",
+            env.now, parent=pipeline.trace_block,
+        )
         while not pipeline.fnfa_received:
             handle = pipeline.handle
             if handle.fnfa_in is None:
+                tracer.end(t_fnfa, env.now, aborted=True)
                 return  # FNFA already consumed on a previous handle
             fnfa_get = handle.fnfa_in.get()
             yield race(env, fnfa_get, handle.error, self._error_flag)
@@ -396,6 +455,9 @@ class SmarthClient:
             if fnfa_get.triggered:
                 fnfa = fnfa_get.value
                 pipeline.fnfa_received = True
+                self.deployment.metrics.observe(
+                    "fnfa_latency", fnfa.finished_at - pipeline.started_at
+                )
                 if not pipeline.skip_speed_record:
                     self.records.record(
                         SpeedSample(
@@ -405,10 +467,12 @@ class SmarthClient:
                             at=env.now,
                         )
                     )
+                tracer.end(t_fnfa, env.now, datanode=fnfa.datanode)
                 return
             if handle.error.triggered:
                 self._enqueue_error(pipeline, handle.error.value)
             yield from self._drain_errors(data_queue, buffer_bytes)
+        tracer.end(t_fnfa, env.now)
 
     # ------------------------------------------------------------------
     def _arm_watcher(self, pipeline: SmarthPipeline) -> None:
@@ -440,6 +504,12 @@ class SmarthClient:
             f"block:{pipeline.block.block_id}",
             client=self.name,
         )
+        tracer = self.deployment.tracer
+        now = self.env.now
+        tracer.end(pipeline.trace_ack, now)
+        tracer.end(pipeline.trace_attempt, now)
+        tracer.end(pipeline.trace_block, now)
+        self.deployment.metrics.gauge("pipelines_live", -1)
 
     def _enqueue_error(self, pipeline: SmarthPipeline, failed: str) -> None:
         """Algorithm 4: add the pipeline to the error pipeline set."""
@@ -465,6 +535,11 @@ class SmarthClient:
                 else None
             )
             pipeline.teardown()
+            tracer = self.deployment.tracer
+            tracer.end(pipeline.trace_ack, self.env.now, aborted=True)
+            tracer.end(pipeline.trace_attempt, self.env.now, aborted=True)
+            pipeline.trace_ack = 0
+            pipeline.trace_attempt = 0
 
             excluded = self._busy_datanodes(exclude=pipeline) | self._blacklist
             new_block, new_targets = yield from recover_pipeline(
@@ -475,6 +550,7 @@ class SmarthClient:
                 failed or "",
                 pipeline.acked_bytes,
                 excluded,
+                trace_parent=pipeline.trace_block,
             )
             pipeline.rebind_block(new_block, new_targets)
             try:
@@ -510,6 +586,11 @@ class SmarthClient:
         if status == _ERROR:
             # The rebuilt pipeline failed too: recurse via the set.
             self._enqueue_error(pipeline, failed)
+            return
+        pipeline.trace_ack = self.deployment.tracer.begin(
+            "ack", f"client:{self.name}", f"b{pipeline.block.block_id}",
+            self.env.now, parent=pipeline.trace_attempt,
+        )
 
     def _drain_all(
         self, data_queue: Store, buffer_bytes: int

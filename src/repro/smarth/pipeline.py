@@ -77,6 +77,13 @@ class SmarthPipeline:
         #: Fires when the pipeline reaches DONE.
         self.done: Event = env.event()
 
+        #: Open span ids on the client tracer (0 when tracing is off):
+        #: the block span (whole-block lifetime), the current pipeline
+        #: attempt, and the current ack-wait span.
+        self.trace_block: int = 0
+        self.trace_attempt: int = 0
+        self.trace_ack: int = 0
+
     # ------------------------------------------------------------------
     @property
     def first_datanode(self) -> str:

@@ -32,6 +32,10 @@ class UploadOutcome:
     system: str
     scenario: str
     injected_faults: tuple[str, ...] = ()
+    #: The deployment the upload ran on — only kept when the caller asked
+    #: for observability (``observe=True``), so traces and metrics can be
+    #: exported after the run.
+    deployment: Optional[object] = None
 
     @property
     def duration(self) -> float:
@@ -45,6 +49,7 @@ def run_upload(
     config: Optional[SimulationConfig] = None,
     path: str = "/data/upload.bin",
     fault_hook: Optional[Callable[[FaultInjector], None]] = None,
+    observe: bool = False,
 ) -> UploadOutcome:
     """Upload ``size`` bytes through ``system`` ("hdfs" or "smarth")."""
     if system not in ("hdfs", "smarth"):
@@ -54,7 +59,9 @@ def run_upload(
 
     env, cluster = scenario.make(config)
     deployment = (
-        SmarthDeployment(cluster) if system == "smarth" else HdfsDeployment(cluster)
+        SmarthDeployment(cluster, observe=observe)
+        if system == "smarth"
+        else HdfsDeployment(cluster, observe=observe)
     )
 
     injected: tuple[str, ...] = ()
@@ -76,6 +83,7 @@ def run_upload(
         system=system,
         scenario=scenario.name,
         injected_faults=injected,
+        deployment=deployment if observe else None,
     )
 
 

@@ -186,6 +186,61 @@ class TestInvariantMonitorUnit:
         assert monitor.records["recovery_outcome"].checks == checks
 
 
+class TestLegacyLoopCampaign:
+    """Regression: the chaos invariants hold with coalescing disabled.
+
+    ``coalesce_packets=1`` forces every block through the per-packet
+    legacy loop, so this campaign exercises the exact recovery paths the
+    packet train bypasses (mid-stream error races, requote handling)
+    under the same seed-driven fault schedules."""
+
+    SEED = 7
+    RUNS = 4
+    SCALE = 0.25
+
+    @pytest.fixture(scope="class")
+    def legacy_campaign(self, request) -> dict:
+        original = ChaosSchedule.config
+        patched = lambda self: original(self).with_hdfs(coalesce_packets=1)
+        ChaosSchedule.config = patched
+        request.addfinalizer(
+            lambda: setattr(ChaosSchedule, "config", original)
+        )
+        return run_campaign(
+            self.SEED, self.RUNS, protocols=("hdfs", "smarth"),
+            scale=self.SCALE,
+        )
+
+    def test_all_green_without_trains(self, legacy_campaign: dict) -> None:
+        assert legacy_campaign["all_green"], report_json(legacy_campaign)
+        assert legacy_campaign["outcomes"] == {"completed": self.RUNS * 2}
+
+    def test_no_invariant_violations(self, legacy_campaign: dict) -> None:
+        for name, tally in legacy_campaign["invariant_totals"].items():
+            assert tally["violations"] == 0, f"{name} violated"
+
+
+def test_traced_run_schedule_report_unchanged(tmp_path) -> None:
+    """run_schedule with tracing enabled writes a trace file and returns
+    the byte-identical verdict (the tracer is a passive observer)."""
+    import json as _json
+
+    schedule = generate_schedule(11, scale=0.25)
+    plain = run_schedule(schedule, "hdfs")
+    trace_path = tmp_path / "run.json"
+    traced = run_schedule(schedule, "hdfs", trace_path=str(trace_path))
+    assert plain == traced
+    doc = _json.loads(trace_path.read_text())
+    assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+def test_campaign_creates_missing_trace_dir(tmp_path) -> None:
+    """--trace-dir pointing at a directory that doesn't exist yet works."""
+    trace_dir = tmp_path / "traces" / "nested"
+    run_campaign(5, 1, protocols=("hdfs",), scale=0.25, trace_dir=str(trace_dir))
+    assert (trace_dir / "run000-hdfs.json").exists()
+
+
 def test_schedule_round_trips_to_dict() -> None:
     schedule = generate_schedule(42)
     spec = schedule.to_dict()

@@ -1,0 +1,27 @@
+"""Regenerate the pinned fig5 trace goldens.
+
+Usage:  PYTHONPATH=src python tests/obs/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.obs import chrome_trace_json
+from repro.obs.trace_cmd import run_traced
+
+HERE = Path(__file__).parent
+
+
+def main() -> None:
+    run = run_traced("fig5", seed=0, scale=0.25)
+    trace = HERE / "golden_fig5_trace.json"
+    metrics = HERE / "golden_fig5_metrics.txt"
+    trace.write_text(chrome_trace_json(run.tracer, label="fig5"))
+    metrics.write_text(run.summary)
+    print(f"wrote {trace} ({trace.stat().st_size} bytes)")
+    print(f"wrote {metrics} ({metrics.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -62,6 +62,33 @@ class TestCommands:
         assert "replicated fully: True" in out
         assert "hdfs" in out
 
+    def test_upload_with_trace(self, capsys, tmp_path):
+        trace = tmp_path / "upload.json"
+        rc = main(
+            [
+                "upload",
+                "--system",
+                "smarth",
+                "--size",
+                "128MB",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert rc == 0
+        assert "trace" in capsys.readouterr().out
+        doc = json.loads(trace.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"upload", "block", "pipeline", "stream"} <= names
+
+    def test_trace_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "fig5"])
+        assert args.seed == 0
+        assert args.scale == 0.25
+        assert args.out is None
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "fig99"])
+
     def test_compare_runs(self, capsys):
         rc = main(["compare", "--size", "128MB", "--throttle", "50"])
         assert rc == 0
