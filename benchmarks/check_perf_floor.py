@@ -1,14 +1,18 @@
-"""CI perf-floor gate: compare BENCH_kernel.json against perf_floor.json.
+"""CI perf-floor gate: compare BENCH_*.json results against perf_floor.json.
 
-Run after ``pytest benchmarks/bench_kernel.py``:
+Run after ``pytest benchmarks/bench_kernel.py benchmarks/bench_scale.py``:
 
     python benchmarks/check_perf_floor.py
 
-Fails (exit 1) when a measured ``events_per_sec`` drops more than the
-configured tolerance below its checked-in floor, or when the packet-train
-event reduction (machine-independent) falls under its minimum.  Raising a
-floor is a normal part of landing a perf win; lowering one is a perf
-regression and needs justification in the PR.
+Every top-level group in ``perf_floor.json`` (besides ``comment`` and
+``tolerance``) names a results file — ``kernel`` → ``BENCH_kernel.json``,
+``scale`` → ``BENCH_scale.json`` — whose sections are checked against the
+group's limits.  Fails (exit 1) when a measured ``events_per_sec`` drops
+more than the configured tolerance below its checked-in floor, or when a
+machine-independent ratio (the packet-train ``event_reduction``, the
+allocation-path ``speedup``) falls under its minimum.  Raising a floor is
+a normal part of landing a perf win; lowering one is a perf regression
+and needs justification in the PR.
 """
 
 from __future__ import annotations
@@ -18,23 +22,33 @@ import pathlib
 import sys
 
 BENCH_DIR = pathlib.Path(__file__).parent
-RESULTS = BENCH_DIR / "results" / "BENCH_kernel.json"
+RESULTS_DIR = BENCH_DIR / "results"
 FLOORS = BENCH_DIR / "perf_floor.json"
 
+#: Keys in a floor section that are hard minimums on a measured ratio
+#: (machine-independent — no tolerance applied), mapped to the measured
+#: key they check.
+RATIO_FLOORS = {
+    "min_event_reduction": "event_reduction",
+    "min_speedup": "speedup",
+}
 
-def main() -> int:
-    if not RESULTS.exists():
-        print(f"missing {RESULTS}: run pytest benchmarks/bench_kernel.py first")
-        return 1
-    bench = json.loads(RESULTS.read_text())
-    floors = json.loads(FLOORS.read_text())
-    tolerance = float(floors.get("tolerance", 0.30))
+
+def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
+    """Check one floors group against its ``BENCH_<group>.json``."""
+    results_path = RESULTS_DIR / f"BENCH_{group}.json"
+    if not results_path.exists():
+        return [
+            f"missing {results_path}: run the benchmarks/bench_{group}* "
+            "suite first"
+        ]
+    bench = json.loads(results_path.read_text())
 
     failures = []
-    for section, limits in floors["kernel"].items():
+    for section, limits in sections.items():
         measured = bench.get(section)
         if measured is None:
-            failures.append(f"{section}: missing from {RESULTS.name}")
+            failures.append(f"{group}.{section}: missing from {results_path.name}")
             continue
         floor_eps = limits.get("events_per_sec")
         if floor_eps is not None:
@@ -42,25 +56,39 @@ def main() -> int:
             actual = measured.get("events_per_sec", 0)
             status = "ok" if actual >= allowed else "FAIL"
             print(
-                f"{section}.events_per_sec: {actual} "
+                f"{group}.{section}.events_per_sec: {actual} "
                 f"(floor {floor_eps}, min allowed {allowed:.0f}) {status}"
             )
             if actual < allowed:
                 failures.append(
-                    f"{section}.events_per_sec {actual} < {allowed:.0f}"
+                    f"{group}.{section}.events_per_sec {actual} < {allowed:.0f}"
                 )
-        min_reduction = limits.get("min_event_reduction")
-        if min_reduction is not None:
-            actual = measured.get("event_reduction", 0.0)
-            status = "ok" if actual >= min_reduction else "FAIL"
+        for floor_key, measured_key in RATIO_FLOORS.items():
+            minimum = limits.get(floor_key)
+            if minimum is None:
+                continue
+            actual = measured.get(measured_key, 0.0)
+            status = "ok" if actual >= minimum else "FAIL"
             print(
-                f"{section}.event_reduction: {actual}x "
-                f"(min {min_reduction}x) {status}"
+                f"{group}.{section}.{measured_key}: {actual}x "
+                f"(min {minimum}x) {status}"
             )
-            if actual < min_reduction:
+            if actual < minimum:
                 failures.append(
-                    f"{section}.event_reduction {actual} < {min_reduction}"
+                    f"{group}.{section}.{measured_key} {actual} < {minimum}"
                 )
+    return failures
+
+
+def main() -> int:
+    floors = json.loads(FLOORS.read_text())
+    tolerance = float(floors.get("tolerance", 0.30))
+
+    failures = []
+    for group, sections in floors.items():
+        if group in ("comment", "tolerance"):
+            continue
+        failures.extend(check_group(group, sections, tolerance))
 
     if failures:
         print("perf floor check FAILED:")

@@ -20,6 +20,7 @@ from ..train import plan_train
 from .output_stream import DATA_QUEUE_PACKETS, plan_file, producer
 from .recovery import recover_pipeline
 from .responder import PacketResponder
+from .send import send_packet_inline
 
 __all__ = ["HdfsClient"]
 
@@ -319,47 +320,12 @@ class HdfsClient:
         yield from handle.receivers[0].send_in(self.node, packet)
 
     def _send_packet_inline(self, receiver, packet: Packet, handle: PipelineHandle):
-        """One packet's single-hop send, inlined into the streamer.
-
-        Identical timeline to spawning :meth:`_send_packet` and racing it
-        against the error event — token reservation, analytic transfer,
-        inbox hand-off — without the per-packet process (init event, token
-        round-trips, process-termination event).  On a pipeline error the
-        in-flight step is abandoned exactly like an interrupted send: a
-        pending token grant goes to waste and an unfinished transfer never
-        applies its byte counters or flow sample.  Returns the failed
-        datanode's name, or ``None``.
-        """
-        if handle.error.triggered:
-            # The error landed while we were parked on the data queue; the
-            # spawned send would have been interrupted before its init
-            # event ran — no token put, no channel quotes.
-            return handle.error.value
-        put = receiver._buffer_tokens.put(packet.seq)
-        if not put.processed:
-            yield race(self.env, put, handle.error)
-            # `processed`, not `triggered`: the spawned send resumed (and
-            # committed its channel quotes) exactly when the token grant
-            # was *processed*; a grant still in the queue when the error
-            # landed was wasted on a dying process.
-            if handle.error.triggered and not put.processed:
-                return handle.error.value
-        receiver.max_buffered = max(
-            receiver.max_buffered, len(receiver._buffer_tokens)
+        """One packet's inlined single-hop send (see :mod:`.send`)."""
+        return (
+            yield from send_packet_inline(
+                self.env, self.network, self.node, receiver, packet, handle.error
+            )
         )
-        done, finish = self.network.transfer_begin(
-            self.node, receiver.host, packet.size
-        )
-        yield race(self.env, done, handle.error)
-        if handle.error.triggered and not done.processed:
-            return handle.error.value
-        finish()
-        yield receiver.inbox.put(packet)
-        if handle.error.triggered:
-            # Same-instant tie: the spawned send had already delivered the
-            # packet, but the streamer still reported the failure.
-            return handle.error.value
-        return None
 
     @staticmethod
     def _note_acked(

@@ -49,6 +49,17 @@ class DatanodeManager:
         self.env = env
         self.config = config
         self._datanodes: dict[str, DatanodeDescriptor] = {}
+        #: Memoized schedulable-node views, dropped on any membership or
+        #: liveness transition.  ``live_datanodes`` is on the per-block
+        #: allocation path, so rebuilding the sorted tuple per call costs
+        #: O(n log n) × blocks at steady state for a set that only changes
+        #: on registration, death, revival or decommission.
+        self._live_cache: tuple[str, ...] | None = None
+        self._live_set_cache: frozenset[str] | None = None
+
+    def _invalidate_live(self) -> None:
+        self._live_cache = None
+        self._live_set_cache = None
 
     # -- registration and heartbeats -----------------------------------------
     def register(self, name: str, rack: str) -> DatanodeDescriptor:
@@ -58,26 +69,34 @@ class DatanodeManager:
             name=name, rack=rack, last_heartbeat=self.env.now
         )
         self._datanodes[name] = descriptor
+        self._invalidate_live()
         return descriptor
 
     def heartbeat(self, name: str) -> None:
         """Record a beat; revives a node previously marked dead."""
         descriptor = self._get(name)
         descriptor.last_heartbeat = self.env.now
-        descriptor.alive = True
+        if not descriptor.alive:
+            descriptor.alive = True
+            self._invalidate_live()
 
     def mark_dead(self, name: str) -> None:
-        self._get(name).alive = False
+        descriptor = self._get(name)
+        if descriptor.alive:
+            descriptor.alive = False
+            self._invalidate_live()
 
     def start_decommission(self, name: str) -> None:
         """Begin a graceful drain (no new replicas; existing ones serve)."""
         self._get(name).decommissioning = True
+        self._invalidate_live()
 
     def decommission(self, name: str) -> None:
         """Final state: node fully out of service."""
         descriptor = self._get(name)
         descriptor.decommissioning = False
         descriptor.decommissioned = True
+        self._invalidate_live()
 
     # -- liveness monitor ------------------------------------------------------
     @property
@@ -96,12 +115,22 @@ class DatanodeManager:
             for descriptor in self._datanodes.values():
                 if descriptor.alive and descriptor.last_heartbeat < cutoff:
                     descriptor.alive = False
+                    self._invalidate_live()
 
     # -- queries ------------------------------------------------------------------
     def live_datanodes(self) -> tuple[str, ...]:
-        return tuple(
-            sorted(d.name for d in self._datanodes.values() if d.schedulable)
-        )
+        """Schedulable datanode names, sorted; cached between transitions."""
+        if self._live_cache is None:
+            self._live_cache = tuple(
+                sorted(d.name for d in self._datanodes.values() if d.schedulable)
+            )
+        return self._live_cache
+
+    def live_set(self) -> frozenset[str]:
+        """Schedulable datanode names as a frozenset (membership tests)."""
+        if self._live_set_cache is None:
+            self._live_set_cache = frozenset(self.live_datanodes())
+        return self._live_set_cache
 
     def descriptor(self, name: str) -> DatanodeDescriptor:
         return self._get(name)

@@ -30,7 +30,7 @@ from .namespace import Namespace
 from .placement import DefaultPlacementPolicy, PlacementPolicy
 from .protocol import Block, BlockTargets, NoDatanodesAvailable
 
-__all__ = ["Namenode", "SpeedRegistry"]
+__all__ = ["Namenode", "SpeedRegistry", "UncachedSpeedRegistry"]
 
 
 class SpeedRegistry:
@@ -39,13 +39,31 @@ class SpeedRegistry:
     Clients measure the speed of each block transfer to its *first*
     datanode and piggyback the records on 3-second heartbeats; the
     namenode keeps the latest value per (client, datanode).
+
+    Ranking fast path: the registry memoizes one full ranking per client,
+    sorted by ``(-speed, name)``, and invalidates it whenever a heartbeat
+    changes that client's records.  :meth:`top_n` then filters the cached
+    ranking by membership instead of rebuilding a pool dict and re-sorting
+    per allocation — ``add_block`` at 3-second heartbeat cadence reuses
+    the same ranking for every allocation in between.  Ties always break
+    by datanode name, matching the order the allocation path historically
+    produced (its ``among`` pools are name-sorted).
     """
 
     def __init__(self) -> None:
         self._records: dict[str, dict[str, float]] = {}
+        #: client → datanodes sorted by (-speed, name); dropped on update.
+        self._ranked: dict[str, list[str]] = {}
 
     def update(self, client: str, records: dict[str, float]) -> None:
-        self._records.setdefault(client, {}).update(records)
+        if not records:
+            return
+        mine = self._records.setdefault(client, {})
+        for name, speed in records.items():
+            if mine.get(name) != speed:
+                mine.update(records)
+                self._ranked.pop(client, None)
+                return
 
     def records_for(self, client: str) -> dict[str, float]:
         """Latest known speeds (bytes/s) per datanode for a client."""
@@ -54,20 +72,84 @@ class SpeedRegistry:
     def has_records(self, client: str) -> bool:
         return bool(self._records.get(client))
 
+    def ranking(self, client: str) -> list[str]:
+        """All recorded datanodes for ``client``, fastest first.
+
+        Cached until the next heartbeat changes the client's records; ties
+        break by name.  Callers must not mutate the returned list.
+        """
+        ranked = self._ranked.get(client)
+        if ranked is None:
+            records = self._records.get(client, {})
+            ranked = sorted(records, key=lambda d: (-records[d], d))
+            self._ranked[client] = ranked
+        return ranked
+
     def top_n(
         self, client: str, n: int, among: Iterable[str] | None = None
     ) -> list[str]:
-        """The ``n`` fastest datanodes for ``client`` (Algorithm 1 l.5)."""
+        """The ``n`` fastest datanodes for ``client`` (Algorithm 1 l.5).
+
+        ``among`` restricts the pool by *membership* only; pass a set or
+        frozenset to avoid a rebuild.  Order always comes from the cached
+        ranking.
+        """
+        if n <= 0:
+            return []
+        ranked = self.ranking(client)
+        if among is None:
+            return ranked[:n]
+        member = (
+            among
+            if isinstance(among, (set, frozenset))
+            else frozenset(among)
+        )
+        out: list[str] = []
+        for d in ranked:
+            if d in member:
+                out.append(d)
+                if len(out) == n:
+                    break
+        return out
+
+
+class UncachedSpeedRegistry(SpeedRegistry):
+    """Reference registry: rebuild the pool and re-sort on every query.
+
+    This is the pre-cache implementation, kept as the baseline the
+    equivalence suite and ``benchmarks/bench_scale.py`` compare against.
+    It must answer every query exactly like :class:`SpeedRegistry` —
+    ties break by name because its pools iterate in name-sorted order
+    when ``among`` is name-sorted, and explicitly otherwise.
+    """
+
+    def update(self, client: str, records: dict[str, float]) -> None:
+        if not records:
+            return
+        self._records.setdefault(client, {}).update(records)
+
+    def ranking(self, client: str) -> list[str]:
+        records = self._records.get(client, {})
+        return sorted(records, key=lambda d: (-records[d], d))
+
+    def top_n(
+        self, client: str, n: int, among: Iterable[str] | None = None
+    ) -> list[str]:
         records = self._records.get(client, {})
         pool = records if among is None else {
             d: records[d] for d in among if d in records
         }
-        ranked = sorted(pool, key=lambda d: pool[d], reverse=True)
-        return ranked[:n]
+        ranked = sorted(pool, key=lambda d: (-pool[d], d))
+        return ranked[:max(0, n)]
 
 
 class Namenode:
     """The namenode service running on one cluster node."""
+
+    #: Swappable registry class: the scale benchmark and the fast-path
+    #: equivalence suite install :class:`UncachedSpeedRegistry` here to
+    #: run whole experiments against the reference allocation path.
+    speed_registry_factory = SpeedRegistry
 
     def __init__(
         self,
@@ -88,7 +170,7 @@ class Namenode:
         self.namespace = Namespace()
         self.blocks = BlockManager()
         self.datanodes = DatanodeManager(env, config)
-        self.speeds = SpeedRegistry()
+        self.speeds = self.speed_registry_factory()
         self.rng = random.Random(seed)
         self.journal = journal if journal is not None else Journal(enabled=False)
         self.tracer = tracer if tracer is not None else DISABLED_TRACER

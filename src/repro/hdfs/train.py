@@ -434,7 +434,11 @@ class PacketTrain:
                 issue_at = env.now if k == 0 else self._a[0][k - 1]
                 if env.now >= issue_at:
                     break
-                yield race(env, env.timeout_at(issue_at), self._flag)
+                timer = env.timeout_at(issue_at)
+                yield race(env, timer, self._flag)
+                # Invalidation may have won the race; the superseded issue
+                # timer would otherwise sit in the heap until its old time.
+                timer.cancel()
                 if self._dead:
                     return
             get_ev = self.data_queue.get()
@@ -459,7 +463,9 @@ class PacketTrain:
                 return
             when, _order, kind, h = self._milestones[0]
             if env.now < when:
-                yield race(env, env.timeout_at(when), self._flag)
+                timer = env.timeout_at(when)
+                yield race(env, timer, self._flag)
+                timer.cancel()
                 if self._dead:
                     return
                 continue

@@ -31,6 +31,13 @@ class Topology:
         self._graph = nx.Graph()
         self._graph.add_node(_ROOT, kind="root")
         self._rack_of: dict[str, str] = {}
+        #: rack → sorted host tuple, rebuilt lazily after membership edits.
+        #: Placement consults rack membership per replica per block, while
+        #: hosts only ever join at cluster build time — without the index
+        #: every ``choose_targets`` pays an O(hosts) scan per rack query.
+        self._rack_index: dict[str, tuple[str, ...]] | None = None
+        #: rack → sorted tuple of hosts *outside* that rack.
+        self._remote_index: dict[str, tuple[str, ...]] | None = None
 
     # -- construction -----------------------------------------------------
     def add_rack(self, rack: str) -> None:
@@ -49,6 +56,8 @@ class Topology:
         self._graph.add_node(f"host:{host}", kind="host", name=host)
         self._graph.add_edge(f"rack:{rack}", f"host:{host}")
         self._rack_of[host] = rack
+        self._rack_index = None
+        self._remote_index = None
 
     # -- queries ----------------------------------------------------------
     @property
@@ -74,11 +83,35 @@ class Topology:
         except KeyError:
             raise KeyError(f"unknown host {host!r}") from None
 
+    @property
+    def rack_map(self) -> dict[str, str]:
+        """The live host→rack mapping, for read-only bulk lookups.
+
+        Placement scans hundreds of hosts per replica choice; indexing
+        this dict directly skips a method call per host.  Callers must
+        not mutate it — membership changes go through :meth:`add_host`.
+        """
+        return self._rack_of
+
+    def _build_rack_indexes(self) -> None:
+        by_rack: dict[str, list[str]] = {}
+        for host in sorted(self._rack_of):
+            by_rack.setdefault(self._rack_of[host], []).append(host)
+        self._rack_index = {r: tuple(hs) for r, hs in by_rack.items()}
+        all_hosts = self.hosts
+        self._remote_index = {
+            rack: tuple(h for h in all_hosts if self._rack_of[h] != rack)
+            for rack in self._rack_index
+        }
+
     def hosts_in_rack(self, rack: str) -> tuple[str, ...]:
-        """All hosts in ``rack``, sorted."""
+        """All hosts in ``rack``, sorted; served from the rack index."""
         if f"rack:{rack}" not in self._graph:
             raise KeyError(f"unknown rack {rack!r}")
-        return tuple(sorted(h for h, r in self._rack_of.items() if r == rack))
+        if self._rack_index is None:
+            self._build_rack_indexes()
+        assert self._rack_index is not None
+        return self._rack_index.get(rack, ())
 
     def same_rack(self, a: str, b: str) -> bool:
         """True iff both hosts share a rack."""
@@ -98,7 +131,11 @@ class Topology:
     def remote_rack_hosts(self, host: str) -> tuple[str, ...]:
         """All hosts *not* in ``host``'s rack, sorted (Algorithm 1 l.12)."""
         rack = self.rack_of(host)
-        return tuple(sorted(h for h, r in self._rack_of.items() if r != rack))
+        if self._remote_index is None:
+            self._build_rack_indexes()
+        assert self._remote_index is not None
+        # rack_of succeeded, so the host's rack is guaranteed indexed.
+        return self._remote_index[rack]
 
     def graph_copy(self) -> nx.Graph:
         """A copy of the underlying graph (for analysis/plotting)."""

@@ -37,13 +37,30 @@ class Environment:
     time, so runs are fully deterministic given the model's RNG seeds.
     """
 
+    #: Tombstone count below which :meth:`_compact` never runs — keeps tiny
+    #: schedules from paying rebuild costs for a handful of cancellations.
+    COMPACT_MIN_TOMBSTONES = 64
+
+    #: Default for :attr:`lazy_cancellation` on new environments; the
+    #: equivalence suite flips this class-wide to run whole experiments on
+    #: the pre-tombstone scheduler.
+    LAZY_CANCELLATION = True
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Process | None = None
+        #: Heap entries whose event has been cancelled but not yet popped.
+        self._tombstones = 0
         #: Events processed by this environment (kernel-throughput metric).
         self.events_processed = 0
+        #: When False, :meth:`Event.cancel` is a no-op and abandoned timers
+        #: stay in the heap until they fire as stale events — the
+        #: pre-tombstone scheduler, kept switchable so equivalence tests
+        #: and the scale benchmark can prove both modes produce identical
+        #: simulated timelines.
+        self.lazy_cancellation: bool = self.LAZY_CANCELLATION
 
     # -- introspection -----------------------------------------------------
     @property
@@ -57,11 +74,16 @@ class Environment:
         return self._active_process
 
     def peek(self) -> float:
-        """Time of the next scheduled event, or ``inf`` if none remain."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next *live* scheduled event, or ``inf`` if none remain."""
+        queue = self._queue
+        while queue and queue[0][3]._cancelled:
+            heapq.heappop(queue)
+            self._tombstones -= 1
+        return queue[0][0] if queue else float("inf")
 
     def __len__(self) -> int:
-        return len(self._queue)
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue) - self._tombstones
 
     # -- event factories ----------------------------------------------------
     def event(self) -> Event:
@@ -126,12 +148,45 @@ class Environment:
             self._queue, (when, priority, next(self._eid), event)
         )
 
+    def _note_cancelled(self) -> None:
+        """Record a new tombstone; compact the heap when they dominate it."""
+        self._tombstones += 1
+        if (
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstoned entries and re-heapify.
+
+        Heap *order* is irrelevant to pop order here: entries are totally
+        ordered tuples with unique ids, so rebuilding the heap cannot
+        change the sequence of live events — determinism is preserved.
+        """
+        self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to its time."""
-        try:
-            self._now, _, _, event = heapq.heappop(self._queue)
-        except IndexError:
-            raise EmptySchedule("no scheduled events remain") from None
+        """Process exactly one event, advancing the clock to its time.
+
+        Tombstoned (cancelled) entries are discarded without advancing the
+        clock and without counting toward ``events_processed`` — a
+        cancelled timer must leave no trace in either the metrics or the
+        simulated timeline.
+        """
+        queue = self._queue
+        while True:
+            try:
+                when, _, _, event = heapq.heappop(queue)
+            except IndexError:
+                raise EmptySchedule("no scheduled events remain") from None
+            if event._cancelled:
+                self._tombstones -= 1
+                continue
+            break
+        self._now = when
 
         self.events_processed += 1
         global _TOTAL_EVENTS

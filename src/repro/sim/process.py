@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Generator
 
 from .errors import Interrupt
-from .events import Event
+from .events import PENDING, Event, Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from .environment import Environment
@@ -109,11 +109,24 @@ class Process(Event):
         # If we are being resumed by an interrupt while waiting on another
         # event, unsubscribe from that event so we are not resumed twice.
         if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
+            target = self._target
+            if target.callbacks is not None:
                 try:
-                    self._target.callbacks.remove(self._resume)
+                    target.callbacks.remove(self._resume)
                 except ValueError:  # pragma: no cover - defensive
                     pass
+                # A plain timer we were the sole subscriber of is now pure
+                # heap churn — tombstone it.  Restricted to Timeout and the
+                # bare Events produced by ``timeout_at``: subclasses may
+                # carry side effects (e.g. Request slots) or be re-yielded
+                # by other processes, so they stay scheduled.
+                if (
+                    not target.callbacks
+                    and type(target) in (Event, Timeout)
+                    and target._ok
+                    and target._value is not PENDING
+                ):
+                    target.cancel()
         self._target = None
 
         env._active_process = self

@@ -12,7 +12,7 @@ to the original HDFS method (Algorithm 1 line 21).
 from __future__ import annotations
 
 import random
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from ..hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
 from ..hdfs.protocol import NoDatanodesAvailable
@@ -58,7 +58,12 @@ class SmarthPlacementPolicy(PlacementPolicy):
             raise ValueError("replication must be >= 1")
         excluded_set = set(excluded)
         live = self.datanodes.live_datanodes()
-        available = [d for d in live if d not in excluded_set]
+        live_set = self.datanodes.live_set()
+        available: Sequence[str]
+        if excluded_set:
+            available = [d for d in live if d not in excluded_set]
+        else:
+            available = live
         if not available:
             raise NoDatanodesAvailable("no live datanodes available")
         replication = min(replication, len(available))
@@ -70,7 +75,9 @@ class SmarthPlacementPolicy(PlacementPolicy):
         # available ones — computing TopN only over available nodes would
         # hand out known-slow first datanodes whenever the fast ones are
         # busy, which defeats the optimization.
-        top_global = self.speeds.top_n(client, n, among=live) if self.enabled else []
+        top_global = (
+            self.speeds.top_n(client, n, among=live_set) if self.enabled else []
+        )
         if not top_global:
             # Line 21: no transmission records → original HDFS method.
             self.fallback_selections += 1
@@ -82,17 +89,26 @@ class SmarthPlacementPolicy(PlacementPolicy):
             # chance to test the bandwidth performance"; without this a
             # single slow early measurement would shadow every unmeasured
             # fast node indefinitely.
-            unmeasured = [d for d in live if d not in set(top_global)]
+            top_set = set(top_global)
+            unmeasured = [d for d in live if d not in top_set]
             self.rng.shuffle(unmeasured)
             top_global = top_global + unmeasured[: n - len(top_global)]
 
-        top_n = [d for d in top_global if d in set(available)]
+        # Membership in ``available`` without materializing a set of it:
+        # available == live minus excluded by construction.
+        top_n = [
+            d for d in top_global
+            if d in live_set and d not in excluded_set
+        ]
         if not top_n:
             # Every TopN node is busy in another of this client's
             # pipelines: take the fastest of what is available (known
             # speeds first, then unmeasured).
-            ranked = self.speeds.top_n(client, len(available), among=available)
-            unmeasured = [d for d in available if d not in set(ranked)]
+            ranked = self.speeds.top_n(
+                client, len(available), among=frozenset(available)
+            )
+            ranked_set = set(ranked)
+            unmeasured = [d for d in available if d not in ranked_set]
             self.rng.shuffle(unmeasured)
             top_n = (ranked + unmeasured)[:1]
 
@@ -104,21 +120,32 @@ class SmarthPlacementPolicy(PlacementPolicy):
         targets.append(first)
 
         # Line 12: second replica on a remote rack (relative to the first).
+        # Fused scan over the rack map, same trick as the default policy:
+        # one pass builds both `remaining` and the rack-filtered subset.
+        rack_map = self.topology.rack_map
         if len(targets) < replication:
-            first_rack = self.topology.rack_of(first)
-            remaining = [d for d in available if d not in targets]
-            remote = [
-                d for d in remaining if self.topology.rack_of(d) != first_rack
-            ]
+            first_rack = rack_map[first]
+            remaining = []
+            remote = []
+            for d in available:
+                if d in targets:
+                    continue
+                remaining.append(d)
+                if rack_map[d] != first_rack:
+                    remote.append(d)
             targets.append(self._pick(self.rng, remote or remaining))
 
         # Line 14: third replica on the same rack as the second.
         if len(targets) < replication:
-            second_rack = self.topology.rack_of(targets[1])
-            remaining = [d for d in available if d not in targets]
-            same = [
-                d for d in remaining if self.topology.rack_of(d) == second_rack
-            ]
+            second_rack = rack_map[targets[1]]
+            remaining = []
+            same = []
+            for d in available:
+                if d in targets:
+                    continue
+                remaining.append(d)
+                if rack_map[d] == second_rack:
+                    same.append(d)
             targets.append(self._pick(self.rng, same or remaining))
 
         # Line 16: anything further is uniform random.

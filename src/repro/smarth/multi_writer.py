@@ -88,6 +88,13 @@ class SmarthClient:
         self._recoveries = 0
         self._max_concurrent = 0
         self._trace_upload = 0
+        self._datanode_set: frozenset[str] = frozenset()
+
+    def _all_datanodes(self) -> frozenset[str]:
+        """Deployment datanode names; cached, membership only ever grows."""
+        if len(self._datanode_set) != len(self.deployment.datanodes):
+            self._datanode_set = frozenset(self.deployment.datanodes)
+        return self._datanode_set
 
     # ------------------------------------------------------------------
     def put(self, path: str, size: int) -> ProcessGenerator:
@@ -180,7 +187,7 @@ class SmarthClient:
         Instead wait for a live pipeline to release its datanodes.
         """
         replication = self.config.hdfs.replication
-        total = set(self.deployment.datanodes)
+        total = self._all_datanodes()
         while self._active:
             available = total - self._busy_datanodes() - self._blacklist
             if len(available) >= replication:

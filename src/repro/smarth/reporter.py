@@ -30,6 +30,11 @@ def speed_reporter(
     piggybacking (the beat always happens; the payload only when there is
     something to report — we skip the empty beats to keep the event count
     down, the namenode-side effect is identical).
+
+    The owning client interrupts the loop when its upload completes (the
+    interrupt also tombstones the pending interval timer, see
+    ``Process._resume``); the stop is journalled so traces show when a
+    client's heartbeat traffic ceased.
     """
     env = namenode.env
     try:
@@ -39,5 +44,12 @@ def speed_reporter(
                 yield from namenode.client_heartbeat(
                     client_name, records.snapshot()
                 )
-    except Interrupt:
+    except Interrupt as stop:
+        namenode.journal.emit(
+            env.now,
+            "reporter_stopped",
+            f"client:{client_name}",
+            client=client_name,
+            cause=str(stop.cause) if stop.cause is not None else "",
+        )
         return

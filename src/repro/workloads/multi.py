@@ -104,6 +104,17 @@ def run_concurrent_uploads(
     end = env.now
     env.run(until=env.now + 1.0)  # let trailing blockReceived reports land
 
+    holes = [i for i, r in enumerate(results) if r is None]
+    if holes:
+        # A `None` hole means an upload process finished without producing
+        # a WriteResult (e.g. its generator was interrupted or returned
+        # early).  Surfacing it here with the client index beats handing
+        # callers a list they have to hole-check themselves.
+        raise RuntimeError(
+            f"upload for client {holes[0]} (of {len(parsed)}) completed "
+            f"without a WriteResult; failed client indexes: {holes}"
+        )
+
     replicated = all(
         deployment.namenode.file_fully_replicated(f"/data/client{i}.bin")
         for i in range(len(parsed))

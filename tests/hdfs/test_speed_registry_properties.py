@@ -1,0 +1,104 @@
+"""Property tests: the SpeedRegistry ranking cache vs a reference model.
+
+The registry memoizes one ranking per client and invalidates it on
+heartbeat updates; ``top_n`` filters the cached ranking by membership.
+These tests drive random interleavings of heartbeat updates, no-op
+updates, and membership-restricted queries (datanode death, revival, and
+cluster membership changes all reach the registry as ``among`` filters)
+and check every answer against an uncached reference computation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs.namenode import SpeedRegistry
+
+CLIENTS = ["c0", "c1"]
+DATANODES = [f"dn{i}" for i in range(8)]
+
+
+def reference_top_n(records: dict, n: int, among) -> list[str]:
+    """Uncached model: sort by (-speed, name), filter, truncate."""
+    pool = (
+        records
+        if among is None
+        else {d: s for d, s in records.items() if d in among}
+    )
+    return sorted(pool, key=lambda d: (-pool[d], d))[:n]
+
+
+speeds = st.integers(min_value=1, max_value=10**9).map(float)
+
+update_op = st.tuples(
+    st.just("update"),
+    st.sampled_from(CLIENTS),
+    st.dictionaries(st.sampled_from(DATANODES), speeds, max_size=4),
+)
+query_op = st.tuples(
+    st.just("query"),
+    st.sampled_from(CLIENTS),
+    st.integers(min_value=0, max_value=10),
+    st.one_of(
+        st.none(),
+        st.frozensets(st.sampled_from(DATANODES)),
+    ),
+)
+
+
+@given(ops=st.lists(st.one_of(update_op, query_op), max_size=60))
+@settings(max_examples=300, deadline=None)
+def test_top_n_matches_reference_over_random_update_sequences(ops):
+    """Every query answers as if the ranking were rebuilt from scratch."""
+    registry = SpeedRegistry()
+    model: dict[str, dict[str, float]] = {}
+    for op in ops:
+        if op[0] == "update":
+            _, client, records = op
+            registry.update(client, dict(records))
+            if records:
+                model.setdefault(client, {}).update(records)
+        else:
+            _, client, n, among = op
+            expected = reference_top_n(model.get(client, {}), n, among)
+            assert registry.top_n(client, n, among=among) == expected
+    for client in CLIENTS:
+        assert registry.ranking(client) == reference_top_n(
+            model.get(client, {}), len(DATANODES), None
+        )
+
+
+def test_death_and_revival_only_filter_membership():
+    """A dead datanode drops out of `among` queries and returns intact.
+
+    Liveness never mutates the registry — the cached ranking survives a
+    death/revival cycle unchanged, the membership filter does the work.
+    """
+    registry = SpeedRegistry()
+    registry.update("c", {"dn0": 300.0, "dn1": 200.0, "dn2": 100.0})
+    live = frozenset(["dn0", "dn1", "dn2"])
+    assert registry.top_n("c", 2, among=live) == ["dn0", "dn1"]
+    # dn0 dies: same cached ranking, filtered.
+    assert registry.top_n("c", 2, among=live - {"dn0"}) == ["dn1", "dn2"]
+    # dn0 revives: the original answer comes back.
+    assert registry.top_n("c", 2, among=live) == ["dn0", "dn1"]
+
+
+def test_noop_heartbeat_keeps_cached_ranking_object():
+    """A heartbeat repeating known values must not invalidate the cache."""
+    registry = SpeedRegistry()
+    registry.update("c", {"dn0": 300.0, "dn1": 200.0})
+    first = registry.ranking("c")
+    registry.update("c", {"dn0": 300.0, "dn1": 200.0})
+    assert registry.ranking("c") is first  # cache untouched
+    registry.update("c", {"dn1": 999.0})
+    assert registry.ranking("c") == ["dn1", "dn0"]  # invalidated + rebuilt
+
+
+def test_membership_change_new_datanode_joins_ranking():
+    """A record for a never-seen datanode invalidates and re-ranks."""
+    registry = SpeedRegistry()
+    registry.update("c", {"dn0": 300.0})
+    assert registry.ranking("c") == ["dn0"]
+    registry.update("c", {"dn5": 500.0})
+    assert registry.ranking("c") == ["dn5", "dn0"]
+    assert registry.top_n("c", 1, among=frozenset(["dn0"])) == ["dn0"]

@@ -95,6 +95,80 @@ class TestGlobalOptimization:
             assert len(set(t)) == len(t)
 
 
+class TestHotPathSetConstruction:
+    """Micro-regression: the warm allocation path builds a bounded handful
+    of sets per call, never one per element.  The quadratic regression this
+    guards against — ``set(available)`` rebuilt inside a comprehension
+    condition — makes the construction count grow with cluster size."""
+
+    def _counting_policy(self, monkeypatch, n_datanodes):
+        from repro.smarth import global_opt
+
+        env = Environment()
+        racks = {"rack0": [], "rack1": []}
+        for i in range(n_datanodes):
+            racks[f"rack{i % 2}"].append(f"dn{i:03d}")
+        topo = Topology.from_rack_map(racks)
+        manager = DatanodeManager(env, HdfsConfig())
+        for rack, hosts in racks.items():
+            for host in hosts:
+                manager.register(host, rack)
+        registry = SpeedRegistry()
+        registry.update(
+            "client", {f"dn{i:03d}": 1000.0 + i for i in range(n_datanodes)}
+        )
+        policy = SmarthPlacementPolicy(
+            topo, manager, registry, random.Random(3), 3
+        )
+
+        counter = {"n": 0}
+
+        class CountingSet(set):
+            def __init__(self, *args, **kwargs):
+                counter["n"] += 1
+                super().__init__(*args, **kwargs)
+
+        class CountingFrozenset(frozenset):
+            def __new__(cls, *args):
+                counter["n"] += 1
+                return super().__new__(cls, *args)
+
+        # Shadow the builtins in the module's namespace: every `set(...)`
+        # / `frozenset(...)` evaluated inside global_opt is counted.
+        monkeypatch.setattr(global_opt, "set", CountingSet, raising=False)
+        monkeypatch.setattr(
+            global_opt, "frozenset", CountingFrozenset, raising=False
+        )
+        return policy, counter
+
+    def test_construction_count_independent_of_cluster_size(self, monkeypatch):
+        calls = 5
+        counts = {}
+        for size in (30, 240):
+            policy, counter = self._counting_policy(monkeypatch, size)
+            excluded = {f"dn{i:03d}" for i in range(6)}
+            for _ in range(calls):
+                targets = policy.choose_targets("client", 3, excluded=excluded)
+                assert len(targets) == 3
+            assert policy.topn_selections == calls  # warm TopN path taken
+            counts[size] = counter["n"]
+        assert counts[30] == counts[240]
+        assert counts[240] <= 2 * calls  # a handful per call, not per element
+
+    def test_busy_topn_branch_stays_bounded(self, monkeypatch):
+        # Exclude the entire TopN so the "every TopN node busy" branch
+        # runs: it may build a couple of extra sets, but still O(1)/call.
+        policy, counter = self._counting_policy(monkeypatch, 60)
+        # n = 60 // 3 = 20; the TopN is the 20 highest-speed datanodes,
+        # i.e. the highest-numbered names under the speed map above.
+        excluded = {f"dn{i:03d}" for i in range(40, 60)}
+        before = counter["n"]
+        for _ in range(3):
+            targets = policy.choose_targets("client", 3, excluded=excluded)
+            assert not excluded.intersection(targets)
+        assert counter["n"] - before <= 4 * 3
+
+
 class TestLocalOptimization:
     def _records(self, speeds):
         rec = SpeedRecords()

@@ -6,7 +6,13 @@ from repro.cluster import SMALL, build_homogeneous
 from repro.config import SimulationConfig
 from repro.hdfs import HdfsDeployment
 from repro.sim import Environment
-from repro.smarth import SpeedRecords, SpeedSample, speed_reporter
+from repro.smarth import (
+    SmarthDeployment,
+    SpeedRecords,
+    SpeedSample,
+    speed_reporter,
+)
+from repro.units import KB, MB
 
 
 @pytest.fixture()
@@ -75,3 +81,55 @@ class TestReporter:
         final = deployment.namenode.speeds.records_for("c1")["dn0"]
         # EWMA of 1000, 2000, 3000 = 2250.
         assert final == pytest.approx(2250.0)
+
+
+class TestReporterStop:
+    def test_interrupt_journals_the_stop(self, setup):
+        env, deployment = setup
+        records = SpeedRecords()
+        proc = env.process(
+            speed_reporter(deployment.namenode, "c1", records, interval=1.0)
+        )
+
+        def stopper(env):
+            yield env.timeout(2.5)
+            proc.interrupt("upload finished")
+
+        env.process(stopper(env))
+        env.run(until=5.0)
+        stops = deployment.namenode.journal.events(kind="reporter_stopped")
+        assert len(stops) == 1
+        (stop,) = stops
+        assert stop.subject == "client:c1"
+        assert stop.details["client"] == "c1"
+        assert stop.details["cause"] == "upload finished"
+        assert stop.time == pytest.approx(2.5)
+        assert not proc.is_alive
+
+    def test_upload_completion_stops_the_heartbeat_loop(self):
+        """End-to-end: the client's reporter dies with the upload.
+
+        Without the stop, the heartbeat loop keeps the environment's
+        queue non-empty forever; with it, the run drains and the journal
+        records exactly one stop for the client.
+        """
+        env = Environment()
+        cfg = SimulationConfig().with_hdfs(block_size=2 * MB, packet_size=256 * KB)
+        cluster = build_homogeneous(env, SMALL, n_datanodes=6, config=cfg)
+        deployment = SmarthDeployment(cluster, enable_replication_monitor=False)
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", 4 * MB)))
+
+        stops = deployment.journal.events(kind="reporter_stopped")
+        assert len(stops) == 1
+        assert stops[0].details["client"] == client.name
+        # The stop lands the instant the upload completes.
+        assert stops[0].time == pytest.approx(result.end)
+        assert not client._reporter.is_alive
+        # Heap hygiene at upload completion: the only live entries left
+        # are the cluster's own periodic machinery (6 datanode heartbeats
+        # + the liveness monitor) and the reporter's just-finished process
+        # event — not a backlog of abandoned client timers.  The
+        # reporter's next beat and every per-packet race loser were
+        # cancelled, so the live count is bounded by cluster size.
+        assert len(env) <= 6 + 2

@@ -88,6 +88,27 @@ class TestConcurrentUploads:
         with pytest.raises(ValueError):
             run_concurrent_uploads(two_rack("small"), "zfs", [MB])
 
+    def test_resultless_upload_names_the_client(self, monkeypatch):
+        """A client whose put() yields no WriteResult raises, not a None hole."""
+        from repro.hdfs.client.data_streamer import HdfsClient
+
+        original = HdfsClient.put
+
+        def broken_put(self, path, size):
+            if path.endswith("client1.bin"):
+                yield self.env.timeout(0.1)
+                return None  # simulates a put that finished without a result
+            return (yield from original(self, path, size))
+
+        monkeypatch.setattr(HdfsClient, "put", broken_put)
+        with pytest.raises(RuntimeError, match=r"client 1 .*failed client indexes: \[1\]"):
+            run_concurrent_uploads(
+                two_rack("small", n_extra_clients=1),
+                "hdfs",
+                [MB, MB],
+                config=fast_config(),
+            )
+
     def test_aggregate_metrics(self):
         scenario = two_rack("small", n_extra_clients=2)
         outcome = run_concurrent_uploads(
