@@ -1,6 +1,7 @@
 """CI perf-floor gate: compare BENCH_*.json results against perf_floor.json.
 
-Run after ``pytest benchmarks/bench_kernel.py benchmarks/bench_scale.py``:
+Run after ``pytest benchmarks/bench_kernel.py benchmarks/bench_scale.py
+benchmarks/bench_shard.py``:
 
     python benchmarks/check_perf_floor.py
 
@@ -63,9 +64,25 @@ def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
                 failures.append(
                     f"{group}.{section}.events_per_sec {actual} < {allowed:.0f}"
                 )
+        min_cpus = limits.get("min_cpus")
+        cpus = measured.get("cpus")
+        ratios_apply = not (
+            min_cpus is not None
+            and cpus is not None
+            and cpus < min_cpus
+        )
         for floor_key, measured_key in RATIO_FLOORS.items():
             minimum = limits.get(floor_key)
             if minimum is None:
+                continue
+            if not ratios_apply:
+                # A parallel-speedup floor is meaningless on a machine
+                # with fewer cores than the backend needs — report, don't
+                # fail (CI runners satisfy min_cpus; laptops may not).
+                print(
+                    f"{group}.{section}.{measured_key}: skipped "
+                    f"({cpus} cpus < min_cpus {min_cpus})"
+                )
                 continue
             actual = measured.get(measured_key, 0.0)
             status = "ok" if actual >= minimum else "FAIL"

@@ -17,6 +17,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    publish_env_health,
 )
 from .spans import DISABLED_TRACER, Instant, Span, Tracer
 from .wellformed import WellformednessError, check_wellformed
@@ -31,6 +32,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "DISABLED_METRICS",
+    "publish_env_health",
     "chrome_trace_json",
     "render_gantt",
     "metrics_summary",

@@ -23,6 +23,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DISABLED_METRICS",
+    "publish_env_health",
 ]
 
 
@@ -102,6 +103,17 @@ class MetricsRegistry:
         if gauge.value > gauge.max_value:
             gauge.max_value = gauge.value
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to an absolute level (high-water tracked)."""
+        if not self._enabled:
+            return
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        gauge.value = value
+        if gauge.value > gauge.max_value:
+            gauge.max_value = gauge.value
+
     def observe(self, name: str, value: float) -> None:
         if not self._enabled:
             return
@@ -133,3 +145,35 @@ class MetricsRegistry:
 
 #: Shared no-op registry, mirroring ``DISABLED_TRACER``.
 DISABLED_METRICS = MetricsRegistry(enabled=False)
+
+
+#: Scalar counters published verbatim from ``Environment.health()``.
+_ENV_HEALTH_KEYS = (
+    "events_dispatched",
+    "tombstones_skipped",
+    "compactions_run",
+    "heap_high_water",
+    "inter_shard_messages",
+    "window_barriers",
+    "shard_imbalance",
+)
+
+
+def publish_env_health(env, metrics: MetricsRegistry) -> None:
+    """Publish an environment's event-loop health counters as gauges.
+
+    Gauges land under ``sim.env.*`` (``events_dispatched``,
+    ``tombstones_skipped``, ``compactions_run``, ``heap_high_water``);
+    a :class:`~repro.sim.ShardedEnvironment` additionally publishes
+    ``sim.env.shard<k>.events`` per shard plus the inter-shard message
+    and window-barrier totals, so shard imbalance shows up directly in
+    metrics summaries and trace exports.
+    """
+    if not metrics.enabled:
+        return
+    health = env.health()
+    for key in _ENV_HEALTH_KEYS:
+        if key in health:
+            metrics.set_gauge(f"sim.env.{key}", health[key])
+    for shard, events in enumerate(health.get("shard_events", ())):
+        metrics.set_gauge(f"sim.env.shard{shard}.events", events)

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from ..config import SimulationConfig
 from ..units import GB, MB
 from .export import metrics_summary
+from .metrics import publish_env_health
 from .spans import Tracer
 from .wellformed import check_wellformed
 
@@ -103,6 +104,7 @@ def _run_pair(
         )
         deployment = outcome.deployment
         check_wellformed(deployment.tracer, allow_open=allow_open)
+        publish_env_health(deployment.cluster.env, deployment.metrics)
         parts.append((system, deployment.tracer))
         summaries.append(
             f"== {system} ==\n{metrics_summary(deployment.metrics)}"

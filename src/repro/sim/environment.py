@@ -46,6 +46,12 @@ class Environment:
     #: the pre-tombstone scheduler.
     LAZY_CANCELLATION = True
 
+    #: Shard index of the execution context.  The single-heap environment
+    #: is shard 0 forever; :class:`~repro.sim.shard.ShardedEnvironment`
+    #: updates it per dispatched event.  Events record it at creation so
+    #: the sharded scheduler can route them to their owner's heap.
+    _current_shard = 0
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
@@ -55,6 +61,12 @@ class Environment:
         self._tombstones = 0
         #: Events processed by this environment (kernel-throughput metric).
         self.events_processed = 0
+        #: Cancelled entries discarded off the heap without dispatching.
+        self.tombstones_skipped = 0
+        #: Times :meth:`_compact` rebuilt the heap.
+        self.compactions_run = 0
+        #: Largest number of entries (live + tombstoned) ever in the heap.
+        self.heap_high_water = 0
         #: When False, :meth:`Event.cancel` is a no-op and abandoned timers
         #: stay in the heap until they fire as stale events — the
         #: pre-tombstone scheduler, kept switchable so equivalence tests
@@ -79,7 +91,18 @@ class Environment:
         while queue and queue[0][3]._cancelled:
             heapq.heappop(queue)
             self._tombstones -= 1
+            self.tombstones_skipped += 1
         return queue[0][0] if queue else float("inf")
+
+    def health(self) -> dict:
+        """Event-loop health counters, for `repro.obs` gauges and benchmarks."""
+        return {
+            "events_dispatched": self.events_processed,
+            "tombstones_skipped": self.tombstones_skipped,
+            "compactions_run": self.compactions_run,
+            "heap_high_water": self.heap_high_water,
+            "pending": len(self),
+        }
 
     def __len__(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
@@ -136,17 +159,30 @@ class Environment:
         Called by :meth:`Event.succeed`/:meth:`Event.fail`; model code
         normally never calls this directly.
         """
+        queue = self._queue
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+            queue, (self._now + delay, priority, next(self._eid), event)
         )
+        if len(queue) > self.heap_high_water:
+            self.heap_high_water = len(queue)
 
     def schedule_at(
         self, event: Event, when: float, priority: int = NORMAL
     ) -> None:
-        """Queue ``event`` for processing at the absolute time ``when``."""
-        heapq.heappush(
-            self._queue, (when, priority, next(self._eid), event)
-        )
+        """Queue ``event`` for processing at the absolute time ``when``.
+
+        ``when`` must not lie in the past: a heap entry behind the clock
+        would dispatch immediately but report a non-monotonic timestamp,
+        silently corrupting any timeline built from it.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"schedule_at({when}) lies in the past (now={self._now})"
+            )
+        queue = self._queue
+        heapq.heappush(queue, (when, priority, next(self._eid), event))
+        if len(queue) > self.heap_high_water:
+            self.heap_high_water = len(queue)
 
     def _note_cancelled(self) -> None:
         """Record a new tombstone; compact the heap when they dominate it."""
@@ -167,6 +203,7 @@ class Environment:
         self._queue = [entry for entry in self._queue if not entry[3]._cancelled]
         heapq.heapify(self._queue)
         self._tombstones = 0
+        self.compactions_run += 1
 
     def step(self) -> None:
         """Process exactly one event, advancing the clock to its time.
@@ -184,10 +221,14 @@ class Environment:
                 raise EmptySchedule("no scheduled events remain") from None
             if event._cancelled:
                 self._tombstones -= 1
+                self.tombstones_skipped += 1
                 continue
             break
         self._now = when
+        self._dispatch(event)
 
+    def _dispatch(self, event: Event) -> None:
+        """Run one popped event's callbacks (shared with the sharded core)."""
         self.events_processed += 1
         global _TOTAL_EVENTS
         _TOTAL_EVENTS += 1

@@ -1,0 +1,342 @@
+"""Sharded simulation core: per-shard event heaps with conservative
+time-window synchronization.
+
+:class:`ShardedEnvironment` partitions the pending-event schedule into
+*shards* — one heap per rack / client group — while implementing the
+exact :class:`~repro.sim.environment.Environment` surface, so clients,
+datanodes and the namenode run unmodified on it.  Two execution modes:
+
+* **Deterministic merge** (the default, used by :meth:`step`/``run``):
+  every heap entry carries a globally unique ``(time, priority, eid)``
+  key drawn from one shared counter, and each step pops the globally
+  smallest head across shards.  Because that is a total order — the same
+  total order the single heap pops in — the dispatch sequence is
+  **bit-identical to the single-heap run for any shard count**.  Shard
+  assignment affects only which heap an entry waits in (and therefore
+  per-shard statistics and heap sizes), never the timeline.  The
+  shard-invariance equivalence suite proves this end-to-end over fig5,
+  faultrec and a fixed-seed chaos campaign.
+
+* **Conservative windows** (:meth:`run_windows`): the classic
+  null-message-free PDES loop.  Each barrier computes the global lower
+  bound on unprocessed event time (LBTS) and opens the window
+  ``[LBTS, LBTS + lookahead)``; every shard may then drain its local
+  events inside the window independently (here: in fixed shard order,
+  which keeps the run deterministic), because an event in one shard
+  needs at least ``lookahead`` of simulated time — the minimum
+  cross-shard channel latency — to influence another shard.  A
+  cross-shard message targeting the *current* window is a lookahead
+  violation and raises :class:`CausalityError` instead of silently
+  corrupting the run.
+
+Shard affinity is contextual: every :class:`~repro.sim.events.Event`
+records the shard whose context created it, bootstrap code pins itself
+with :meth:`ShardedEnvironment.pinned`, and scheduling an event owned by
+another shard counts as an inter-shard message.  The process-backed
+executor for fully partitioned workloads (independent pods, lookahead
+``inf``) lives in :mod:`repro.workloads.sharded`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from contextlib import contextmanager
+from typing import Any, Iterator, Optional
+
+from .environment import NORMAL, Environment
+from .errors import EmptySchedule
+from .events import Event
+
+__all__ = ["ShardedEnvironment", "CausalityError", "lookahead_from_config"]
+
+_INF = float("inf")
+
+
+class CausalityError(RuntimeError):
+    """A cross-shard event landed inside the window being executed.
+
+    Raised only in windowed mode: it means the configured lookahead is
+    larger than the real minimum cross-shard latency, so one shard tried
+    to affect another at a time the target may already have passed.
+    """
+
+
+def lookahead_from_config(config: Any) -> float:
+    """Conservative lookahead for a cluster partitioned along racks.
+
+    Any cross-shard interaction in the model — a pipeline hop, an ACK
+    relay, a namenode RPC leg, a heartbeat — rides a channel or control
+    message and therefore takes at least one propagation latency of
+    simulated time to arrive.  The safe window width is the minimum of
+    those latencies.
+    """
+    network = config.network
+    return min(network.link_latency, network.control_latency)
+
+
+class ShardedEnvironment(Environment):
+    """An :class:`Environment` whose schedule is split across shard heaps.
+
+    ``shards`` is the heap count; ``lookahead`` (simulated seconds) is
+    required only for :meth:`run_windows`.  With ``shards=1`` this is
+    operationally identical to the single-heap environment.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        initial_time: float = 0.0,
+        lookahead: float = 0.0,
+    ):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if lookahead < 0:
+            raise ValueError(f"lookahead must be >= 0, got {lookahead}")
+        super().__init__(initial_time)
+        self._shards = shards
+        self._heaps: list[list[tuple[float, int, int, Event]]] = [
+            [] for _ in range(shards)
+        ]
+        #: Total entries across all heaps (live + tombstoned).
+        self._entries = 0
+        self._current_shard = 0
+        self.lookahead = lookahead
+        #: Exclusive upper bound of the window being executed, or ``None``
+        #: outside :meth:`run_windows` — doubles as the windowed-mode flag
+        #: for the causality check.
+        self._window_end: Optional[float] = None
+        #: Events scheduled onto a shard other than the scheduling context's.
+        self.inter_shard_messages = 0
+        #: Window barriers crossed by :meth:`run_windows`.
+        self.window_barriers = 0
+        self._shard_events = [0] * shards
+        self._shard_scheduled = [0] * shards
+        self._shard_high_water = [0] * shards
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self._shards
+
+    @property
+    def current_shard(self) -> int:
+        """Shard of the event being dispatched (bootstrap context: 0)."""
+        return self._current_shard
+
+    def __len__(self) -> int:
+        return self._entries - self._tombstones
+
+    def peek(self) -> float:
+        """Time of the next live event across all shards (``inf`` if none)."""
+        best = _INF
+        for heap in self._heaps:
+            while heap and heap[0][3]._cancelled:
+                heapq.heappop(heap)
+                self._entries -= 1
+                self._tombstones -= 1
+                self.tombstones_skipped += 1
+            if heap and heap[0][0] < best:
+                best = heap[0][0]
+        return best
+
+    def shard_stats(self) -> list[dict]:
+        """Per-shard load counters (events run, scheduled, heap sizes)."""
+        return [
+            {
+                "shard": index,
+                "events_dispatched": self._shard_events[index],
+                "events_scheduled": self._shard_scheduled[index],
+                "heap_high_water": self._shard_high_water[index],
+                "pending": len(self._heaps[index]),
+            }
+            for index in range(self._shards)
+        ]
+
+    def health(self) -> dict:
+        """Base health counters plus shard balance and sync statistics."""
+        health = super().health()
+        events = self._shard_events
+        busiest = max(events) if events else 0
+        mean = sum(events) / len(events) if events else 0.0
+        health.update(
+            {
+                "shards": self._shards,
+                "inter_shard_messages": self.inter_shard_messages,
+                "window_barriers": self.window_barriers,
+                "shard_events": list(events),
+                # >1.0 means uneven shards; 1.0 is a perfect split.
+                "shard_imbalance": (busiest / mean) if mean else 0.0,
+            }
+        )
+        return health
+
+    # -- shard affinity ----------------------------------------------------
+    @contextmanager
+    def pinned(self, shard: int) -> Iterator[None]:
+        """Run bootstrap code under ``shard``'s context.
+
+        Events (and therefore processes, timers, channels) created inside
+        the block are owned by ``shard``; everything they subsequently
+        schedule from their own execution inherits that shard.
+        """
+        if not 0 <= shard < self._shards:
+            raise ValueError(
+                f"shard must be in [0, {self._shards}), got {shard}"
+            )
+        previous = self._current_shard
+        self._current_shard = shard
+        try:
+            yield
+        finally:
+            self._current_shard = previous
+
+    # -- scheduling --------------------------------------------------------
+    def _push(self, event: Event, when: float, priority: int) -> None:
+        shard = event._shard
+        if shard != self._current_shard:
+            self.inter_shard_messages += 1
+            window_end = self._window_end
+            if window_end is not None and when < window_end:
+                raise CausalityError(
+                    f"cross-shard event at t={when} targets shard {shard} "
+                    f"inside the executing window ending at {window_end}; "
+                    "lookahead exceeds the real cross-shard latency"
+                )
+        heap = self._heaps[shard]
+        heapq.heappush(heap, (when, priority, next(self._eid), event))
+        self._entries += 1
+        self._shard_scheduled[shard] += 1
+        if len(heap) > self._shard_high_water[shard]:
+            self._shard_high_water[shard] = len(heap)
+        if self._entries > self.heap_high_water:
+            self.heap_high_water = self._entries
+
+    def schedule(
+        self, event: Event, delay: float = 0.0, priority: int = NORMAL
+    ) -> None:
+        self._push(event, self._now + delay, priority)
+
+    def schedule_at(
+        self, event: Event, when: float, priority: int = NORMAL
+    ) -> None:
+        if when < self._now:
+            raise ValueError(
+                f"schedule_at({when}) lies in the past (now={self._now})"
+            )
+        self._push(event, when, priority)
+
+    def _note_cancelled(self) -> None:
+        self._tombstones += 1
+        if (
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= self._entries
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop tombstones from every shard heap and re-heapify.
+
+        Entries are totally ordered tuples with globally unique ids, so
+        per-heap rebuilds cannot change the merged pop order.
+        """
+        for index, heap in enumerate(self._heaps):
+            live = [entry for entry in heap if not entry[3]._cancelled]
+            if len(live) != len(heap):
+                heapq.heapify(live)
+                self._heaps[index] = live
+        self._entries = sum(len(heap) for heap in self._heaps)
+        self._tombstones = 0
+        self.compactions_run += 1
+
+    # -- deterministic merged execution ------------------------------------
+    def step(self) -> None:
+        """Dispatch the globally earliest live event across all shards.
+
+        The selection key ``(time, priority, eid)`` is the same total
+        order the single heap uses, so the dispatch sequence — and every
+        simulated timestamp derived from it — matches the single-heap
+        run exactly, for any shard count.
+        """
+        best_shard = -1
+        best_key: tuple[float, int, int] | None = None
+        for index, heap in enumerate(self._heaps):
+            while heap and heap[0][3]._cancelled:
+                heapq.heappop(heap)
+                self._entries -= 1
+                self._tombstones -= 1
+                self.tombstones_skipped += 1
+            if heap:
+                head = heap[0]
+                key = (head[0], head[1], head[2])
+                if best_key is None or key < best_key:
+                    best_key, best_shard = key, index
+        if best_shard < 0:
+            raise EmptySchedule("no scheduled events remain")
+
+        when, _, _, event = heapq.heappop(self._heaps[best_shard])
+        self._entries -= 1
+        self._now = when
+        self._current_shard = best_shard
+        self._shard_events[best_shard] += 1
+        self._dispatch(event)
+
+    # -- conservative time-window execution --------------------------------
+    def run_windows(self, until: Optional[float] = None) -> None:
+        """Advance the simulation in conservative lookahead windows.
+
+        Each barrier opens the window ``[LBTS, LBTS + lookahead)`` and
+        drains every shard's local events inside it, shard by shard in
+        index order (a fixed merge order, so runs stay deterministic).
+        Within a window each shard runs on its own local clock; ``now``
+        is therefore shard-local here, exactly as it would be across
+        worker processes.  Requires a positive ``lookahead``; a
+        cross-shard message into the open window raises
+        :class:`CausalityError`.
+        """
+        if self.lookahead <= 0:
+            raise ValueError(
+                "run_windows requires a positive lookahead "
+                "(see lookahead_from_config)"
+            )
+        limit = None if until is None else float(until)
+        if limit is not None and limit < self._now:
+            raise ValueError(
+                f"until ({limit}) must not lie in the past (now={self._now})"
+            )
+
+        latest = self._now
+        while True:
+            lbts = self.peek()
+            if lbts == _INF:
+                break
+            if limit is not None and lbts > limit:
+                break
+            window_end = lbts + self.lookahead
+            self.window_barriers += 1
+            self._window_end = window_end
+            try:
+                for index in range(self._shards):
+                    heap = self._heaps[index]
+                    self._current_shard = index
+                    self._now = lbts
+                    while True:
+                        while heap and heap[0][3]._cancelled:
+                            heapq.heappop(heap)
+                            self._entries -= 1
+                            self._tombstones -= 1
+                            self.tombstones_skipped += 1
+                        if not heap or heap[0][0] >= window_end:
+                            break
+                        if limit is not None and heap[0][0] > limit:
+                            break
+                        when, _, _, event = heapq.heappop(heap)
+                        self._entries -= 1
+                        self._now = when
+                        self._shard_events[index] += 1
+                        self._dispatch(event)
+                    if self._now > latest:
+                        latest = self._now
+            finally:
+                self._window_end = None
+
+        self._now = limit if limit is not None else latest

@@ -2,6 +2,13 @@
 
 from .multi import MultiUploadOutcome, run_concurrent_uploads
 from .scenarios import Scenario, contention, heterogeneous, two_rack
+from .sharded import (
+    PodPlan,
+    PodRunOutcome,
+    PodSpec,
+    run_pods_sharded,
+    run_pods_single_env,
+)
 from .sweep import size_sweep, sweep
 from .upload import UploadOutcome, compare, run_upload
 
@@ -15,6 +22,11 @@ __all__ = [
     "UploadOutcome",
     "run_concurrent_uploads",
     "MultiUploadOutcome",
+    "PodSpec",
+    "PodPlan",
+    "PodRunOutcome",
+    "run_pods_single_env",
+    "run_pods_sharded",
     "sweep",
     "size_sweep",
 ]

@@ -18,7 +18,20 @@ from ..cluster.builder import (
 from ..config import SimulationConfig
 from ..sim import Environment
 
-__all__ = ["Scenario", "two_rack", "contention", "heterogeneous"]
+__all__ = [
+    "Scenario",
+    "two_rack",
+    "contention",
+    "heterogeneous",
+    "environment_factory",
+]
+
+#: Factory :meth:`Scenario.make` uses for fresh environments.  Swapping
+#: it (e.g. to ``lambda: ShardedEnvironment(shards=4)``) reruns every
+#: experiment, chaos campaign and workload on a different scheduler —
+#: the hook the shard-invariance equivalence suite drives, mirroring how
+#: the scale suite swaps ``speed_registry_factory``.
+environment_factory: Callable[[], Environment] = Environment
 
 
 @dataclass(frozen=True)
@@ -34,7 +47,7 @@ class Scenario:
     ) -> tuple[Environment, Cluster]:
         """Instantiate the scenario: fresh environment + cluster."""
         config = config or SimulationConfig()
-        env = Environment()
+        env = environment_factory()
         return env, self.build(env, config)
 
 

@@ -1,0 +1,81 @@
+"""Shard-invariance of full experiments: sharded scheduler, same bytes.
+
+The deterministic K-way merge in :class:`~repro.sim.ShardedEnvironment`
+claims the dispatch order is *identical* to the single-heap
+:class:`~repro.sim.Environment` for any shard count.  This suite proves
+that claim end-to-end, not on toy workloads: the fig5 and faultrec
+experiment drivers and a fixed-seed chaos campaign are rerun with every
+scenario's environment swapped (via the
+``repro.workloads.scenarios.environment_factory`` hook) for a sharded
+one at shard counts {1, 2, 4}, and the complete result tables / report
+bytes must match the single-heap reference exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.workloads.scenarios as scenarios
+from repro.experiments import ALL_EXPERIMENTS
+from repro.faults.campaign import report_json, run_campaign
+from repro.sim import ShardedEnvironment
+
+SCALE = 0.25
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _sharded_mode(monkeypatch, shards: int) -> None:
+    """Every scenario-built environment becomes a sharded one."""
+    monkeypatch.setattr(
+        scenarios,
+        "environment_factory",
+        lambda: ShardedEnvironment(shards=shards),
+    )
+
+
+def _normalized(result) -> dict:
+    rows = [
+        dict(zip(result.columns, row)) if not isinstance(row, dict) else row
+        for row in result.rows
+    ]
+    return json.loads(
+        json.dumps(
+            {
+                "rows": rows,
+                "measured": {k: str(v) for k, v in result.measured.items()},
+            },
+            sort_keys=True,
+        )
+    )
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_fig5_identical_sharded_vs_single_heap(monkeypatch, shards):
+    reference = _normalized(ALL_EXPERIMENTS["fig5"](scale=SCALE))
+    _sharded_mode(monkeypatch, shards)
+    sharded = _normalized(ALL_EXPERIMENTS["fig5"](scale=SCALE))
+    assert sharded == reference
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_faultrec_identical_sharded_vs_single_heap(monkeypatch, shards):
+    reference = _normalized(ALL_EXPERIMENTS["faultrec"](scale=SCALE))
+    _sharded_mode(monkeypatch, shards)
+    sharded = _normalized(ALL_EXPERIMENTS["faultrec"](scale=SCALE))
+    assert sharded == reference
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_chaos_report_identical_per_seed(monkeypatch, shards):
+    """Fault injection, retries, recovery races — a fixed-seed chaos
+    campaign's report is byte-identical under the sharded scheduler."""
+    reference = report_json(
+        run_campaign(seed=11, runs=2, protocols=("hdfs", "smarth"), scale=0.1)
+    )
+    _sharded_mode(monkeypatch, shards)
+    sharded = report_json(
+        run_campaign(seed=11, runs=2, protocols=("hdfs", "smarth"), scale=0.1)
+    )
+    assert sharded == reference

@@ -1,0 +1,324 @@
+"""ShardedEnvironment: deterministic merge, affinity, windows, causality."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SimulationConfig
+from repro.sim import (
+    CausalityError,
+    EmptySchedule,
+    Environment,
+    ShardedEnvironment,
+    lookahead_from_config,
+)
+
+
+def mixed_workload(env, log, n=24):
+    """Timeouts, zero-delay chains, races-by-cancel — a bit of everything."""
+
+    def worker(env, tag, delay):
+        yield env.timeout(delay)
+        log.append(("worker", tag, env.now))
+        yield env.timeout(0)
+        log.append(("again", tag, env.now))
+
+    def canceller(env):
+        timers = [env.timeout(5.0 + i) for i in range(80)]
+        yield env.timeout(0.5)
+        for timer in timers:
+            timer.cancel()
+        log.append(("cancelled", env.now))
+
+    for i in range(n):
+        env.process(worker(env, i, (i * 13 % 7) * 0.25))
+    env.process(canceller(env))
+
+
+class TestDeterministicMerge:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 4, 8])
+    def test_identical_to_single_heap(self, shards):
+        """Any shard count dispatches the exact single-heap sequence."""
+        ref_log = []
+        ref = Environment()
+        mixed_workload(ref, ref_log)
+        ref.run()
+
+        log = []
+        env = ShardedEnvironment(shards=shards)
+        for shard in range(shards):
+            with env.pinned(shard):
+                pass  # pinning context itself must be harmless
+        mixed_workload(env, log)
+        env.run()
+
+        assert log == ref_log
+        assert env.now == ref.now
+        assert env.events_processed == ref.events_processed
+
+    def test_pinned_workload_still_identical(self):
+        """Distributing processes over shards must not move the timeline."""
+        ref_log = []
+        ref = Environment()
+        mixed_workload(ref, ref_log)
+        ref.run()
+
+        log = []
+        env = ShardedEnvironment(shards=4)
+
+        def worker(env, tag, delay):
+            yield env.timeout(delay)
+            log.append(("worker", tag, env.now))
+            yield env.timeout(0)
+            log.append(("again", tag, env.now))
+
+        def canceller(env):
+            timers = [env.timeout(5.0 + i) for i in range(80)]
+            yield env.timeout(0.5)
+            for timer in timers:
+                timer.cancel()
+            log.append(("cancelled", env.now))
+
+        for i in range(24):
+            with env.pinned(i % 4):
+                env.process(worker(env, i, (i * 13 % 7) * 0.25))
+        with env.pinned(3):
+            env.process(canceller(env))
+        env.run()
+
+        assert log == ref_log
+        stats = env.shard_stats()
+        assert sum(s["events_dispatched"] for s in stats) == env.events_processed
+        # The pinned split actually spread load across the shards.
+        assert sum(1 for s in stats if s["events_dispatched"]) == 4
+
+    def test_run_until_time_and_event(self):
+        env = ShardedEnvironment(shards=3)
+        log = []
+
+        def proc(env):
+            yield env.timeout(2.0)
+            log.append(env.now)
+            return "done"
+
+        with env.pinned(2):
+            p = env.process(proc(env))
+        assert env.run(until=p) == "done"
+        assert log == [2.0]
+        env2 = ShardedEnvironment(shards=2)
+        env2.timeout(5.0)
+        env2.run(until=1.5)
+        assert env2.now == 1.5
+
+    def test_empty_schedule_raises(self):
+        env = ShardedEnvironment(shards=2)
+        with pytest.raises(EmptySchedule):
+            env.step()
+        assert env.peek() == float("inf")
+        assert len(env) == 0
+
+
+class TestAffinityAndStats:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ShardedEnvironment(shards=0)
+        with pytest.raises(ValueError):
+            ShardedEnvironment(shards=2, lookahead=-1.0)
+
+    def test_pinned_validation_and_restore(self):
+        env = ShardedEnvironment(shards=2)
+        with pytest.raises(ValueError):
+            with env.pinned(2):
+                pass
+        with env.pinned(1):
+            assert env.current_shard == 1
+        assert env.current_shard == 0
+
+    def test_events_inherit_creation_shard(self):
+        env = ShardedEnvironment(shards=4)
+        with env.pinned(3):
+            timer = env.timeout(1.0)
+        assert timer._shard == 3
+        env.run()
+        assert env.shard_stats()[3]["events_dispatched"] == 1
+        assert env.shard_stats()[0]["events_dispatched"] == 0
+
+    def test_inter_shard_messages_counted(self):
+        env = ShardedEnvironment(shards=2)
+        with env.pinned(1):
+            inbox = env.event()  # owned by shard 1
+
+        def sender(env):
+            yield env.timeout(1.0)
+            inbox.succeed("ping")  # scheduled from shard 0's context
+
+        def receiver(env):
+            got = yield inbox
+            return got
+
+        env.process(sender(env))
+        with env.pinned(1):
+            p = env.process(receiver(env))
+        assert env.run(until=p) == "ping"
+        assert env.inter_shard_messages >= 1
+
+    def test_health_includes_shard_balance(self):
+        env = ShardedEnvironment(shards=2)
+        with env.pinned(1):
+            env.timeout(1.0)
+        env.timeout(2.0)
+        env.run()
+        health = env.health()
+        assert health["shards"] == 2
+        assert health["shard_events"] == [1, 1]
+        assert health["shard_imbalance"] == 1.0
+        assert health["events_dispatched"] == 2
+        assert set(
+            ["tombstones_skipped", "compactions_run", "heap_high_water"]
+        ) <= set(health)
+
+    def test_tombstones_and_compaction_across_shards(self):
+        env = ShardedEnvironment(shards=4)
+        doomed = []
+        for i in range(Environment.COMPACT_MIN_TOMBSTONES):
+            with env.pinned(i % 4):
+                doomed.append(env.timeout(10.0 + i))
+        for timer in doomed:
+            timer.cancel()
+        # All entries were tombstones: the threshold compaction emptied
+        # every shard heap in one pass.
+        assert env.compactions_run == 1
+        assert len(env) == 0
+        assert env.peek() == float("inf")
+
+
+class TestConservativeWindows:
+    def test_requires_positive_lookahead(self):
+        env = ShardedEnvironment(shards=2)
+        with pytest.raises(ValueError, match="lookahead"):
+            env.run_windows()
+
+    def test_partitioned_workload_matches_reference(self):
+        """Independent per-shard processes produce the reference outcome."""
+        ref = Environment()
+        ref_log = []
+
+        def worker(env, log, tag, period):
+            for _ in range(4):
+                yield env.timeout(period)
+                log.append((tag, round(env.now, 9)))
+
+        for i in range(6):
+            ref.process(worker(ref, ref_log, i, 0.3 + 0.1 * i))
+        ref.run()
+
+        env = ShardedEnvironment(shards=3, lookahead=0.05)
+        log = []
+        for i in range(6):
+            with env.pinned(i % 3):
+                env.process(worker(env, log, i, 0.3 + 0.1 * i))
+        env.run_windows()
+        # Windowed execution interleaves differently but every (tag, time)
+        # observation — each shard's local history — is identical.
+        assert sorted(log) == sorted(ref_log)
+        assert env.window_barriers > 1
+        assert env.events_processed == ref.events_processed
+
+    def test_run_windows_until_pins_clock(self):
+        env = ShardedEnvironment(shards=2, lookahead=0.1)
+        fired = []
+        with env.pinned(1):
+            timer = env.timeout(1.0)
+            timer.callbacks.append(lambda ev: fired.append(env.now))
+        env.timeout(5.0)  # beyond the limit; must stay pending
+        env.run_windows(until=2.0)
+        assert fired == [1.0]
+        assert env.now == 2.0
+
+    def test_cross_shard_message_into_open_window_raises(self):
+        """A same-instant cross-shard send violates the lookahead contract."""
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        with env.pinned(1):
+            inbox = env.event()
+
+        def sender(env):
+            yield env.timeout(1.0)
+            inbox.succeed("too fast")  # lands inside the open window
+
+        env.process(sender(env))
+        with pytest.raises(CausalityError):
+            env.run_windows()
+
+    def test_cross_shard_beyond_window_is_legal(self):
+        """schedule_at past the window end is a legal inter-shard message."""
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        got = []
+        with env.pinned(1):
+            inbox = env.event()
+            inbox._ok = True
+            inbox._value = "mail"
+            inbox.callbacks.append(lambda ev: got.append(env.now))
+
+        def sender(env):
+            yield env.timeout(1.0)
+            env.schedule_at(inbox, env.now + 2.0)  # well past the window
+
+        env.process(sender(env))
+        env.run_windows()
+        assert got == [3.0]
+        assert env.inter_shard_messages == 1
+
+
+def test_lookahead_from_config_is_min_latency():
+    config = SimulationConfig()
+    assert lookahead_from_config(config) == min(
+        config.network.link_latency, config.network.control_latency
+    )
+
+
+@given(
+    spec=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),  # shard
+            st.floats(min_value=0.0, max_value=10.0),  # delay
+            st.booleans(),  # cancelled later?
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_sharded_matches_single_heap_under_random_cancellation(spec):
+    """Random schedules + cancellations: sharded == single-heap, always."""
+
+    def build(env, pin):
+        timers = []
+        for index, (shard, delay, _cancel) in enumerate(spec):
+            if pin:
+                with env.pinned(shard):
+                    timers.append(env.timeout(delay, value=index))
+            else:
+                timers.append(env.timeout(delay, value=index))
+        return timers
+
+    def drive(env, timers):
+        log = []
+        for timer, (_shard, _delay, cancel) in zip(timers, spec):
+            if cancel:
+                timer.cancel()
+            else:
+                timer.callbacks.append(
+                    lambda ev: log.append((ev._value, env.now))
+                )
+        env.run()
+        return log
+
+    ref = Environment()
+    ref_log = drive(ref, build(ref, pin=False))
+
+    env = ShardedEnvironment(shards=4)
+    log = drive(env, build(env, pin=True))
+
+    assert log == ref_log
+    assert env.now == ref.now
+    assert env.events_processed == ref.events_processed
