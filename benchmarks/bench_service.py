@@ -1,0 +1,166 @@
+"""Service-mode benchmark: sustained ingest throughput + pod fan-out.
+
+Not a paper figure — this measures the continuous-ingestion service
+(`repro.service`) the way CI needs it measured:
+
+* ``sustained`` — one 500-tenant service run over a scale-adjusted
+  multi-hour horizon with quiescent barriers every simulated hour;
+  records simulator events/second for the floor check and asserts the
+  admission-control invariants plus checkpoint/resume byte-equivalence
+  (the run is snapshotted at its first barrier, resumed, and both
+  journal digests must match).
+* ``pods`` — four independent service pods (distinct seeds) run
+  sequentially and then through :func:`repro.pool.map_named` with one
+  worker process per pod.  Per-pod reports must be identical in both
+  modes; the wall-clock ratio is recorded as ``speedup`` and enforced
+  only on machines with at least ``min_cpus`` cores (see
+  ``perf_floor.json``).
+
+Writes ``benchmarks/results/BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from conftest import write_bench_json
+
+from repro.pool import map_named
+from repro.service import IngestService, ServiceSpec
+from repro.sim import total_events_processed
+
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def _spec(tenants: int, horizon: float, seed: int, speedup: float = 10.0) -> ServiceSpec:
+    """A busy service spec: default mix with compressed interarrivals."""
+    spec = ServiceSpec.default(
+        tenants=tenants,
+        horizon=horizon,
+        checkpoint_every=3600.0,
+        seed=seed,
+        heartbeat_interval=60.0,
+        dead_node_heartbeats=30,
+    )
+    classes = tuple(
+        dataclasses.replace(c, mean_interarrival=c.mean_interarrival / speedup)
+        for c in spec.classes
+    )
+    return dataclasses.replace(spec, classes=classes)
+
+
+def _run_pod(tenants: int, horizon: float, seed: int) -> dict:
+    """One pod: run a service to completion, return its summary."""
+    report = IngestService(_spec(tenants, horizon, seed)).run()
+    counts = report.counts
+    assert counts["conservation_ok"]
+    assert counts["queue_bounded"]
+    assert counts["inflight_bounded"]
+    return {
+        "seed": seed,
+        "arrivals": counts["arrivals"],
+        "completed": counts["completed"],
+        "digests": report.digests(),
+    }
+
+
+def test_service_sustained(benchmark, results_dir, scale):
+    horizon = max(2 * 3600.0, 24 * 3600.0 * scale)
+    spec = _spec(tenants=500, horizon=horizon, seed=20140901)
+
+    events_before = total_events_processed()
+    wall_start = time.perf_counter()
+
+    def _run():
+        service = IngestService(spec)
+        return service.run(checkpoint_dir=results_dir)
+
+    report = benchmark.pedantic(_run, rounds=1, iterations=1)
+    wall = time.perf_counter() - wall_start
+    events = total_events_processed() - events_before
+    eps = int(events / wall) if wall > 0 else 0
+
+    counts = report.counts
+    assert counts["tenants"] == 500
+    assert counts["conservation_ok"]
+    assert counts["queue_bounded"]
+    assert counts["inflight_bounded"]
+
+    # Checkpoint/resume equivalence on the benchmark workload itself.
+    first_ckpt = results_dir / "ckpt_001.pkl"
+    resumed = IngestService.resume(first_ckpt).run()
+    assert resumed.digests() == report.digests()
+    for ckpt in results_dir.glob("ckpt_*.pkl"):
+        ckpt.unlink()
+
+    write_bench_json(
+        results_dir,
+        "service",
+        "sustained",
+        {
+            "tenants": counts["tenants"],
+            "horizon_hours": round(spec.horizon / 3600.0, 2),
+            "segments": counts["segments"],
+            "arrivals": counts["arrivals"],
+            "completed": counts["completed"],
+            "rejected": counts["rejected"],
+            "events_processed": events,
+            "wall_seconds": round(wall, 3),
+            "events_per_sec": eps,
+            "resume_identical": True,  # asserted above
+        },
+    )
+    benchmark.extra_info["events_per_sec"] = eps
+    benchmark.extra_info["arrivals"] = counts["arrivals"]
+
+
+def test_service_pods(benchmark, results_dir, scale):
+    cpus = os.cpu_count() or 1
+    horizon = max(3600.0, 8 * 3600.0 * scale)
+    tasks = [
+        (f"pod{seed}", (400, horizon, seed)) for seed in (1, 2, 3, 4)
+    ]
+
+    def _sequential():
+        return map_named(_run_pod, tasks, jobs=1)
+
+    seq_start = time.perf_counter()
+    sequential = benchmark.pedantic(_sequential, rounds=1, iterations=1)
+    seq_wall = time.perf_counter() - seq_start
+
+    if cpus >= 2:
+        par_start = time.perf_counter()
+        parallel = map_named(_run_pod, tasks, jobs=min(len(tasks), cpus))
+        par_wall = time.perf_counter() - par_start
+        # Same pods, same results — parallelism must not change physics.
+        assert parallel == sequential
+        speedup = seq_wall / par_wall if par_wall > 0 else 1.0
+    else:
+        par_wall = None
+        speedup = 1.0
+
+    write_bench_json(
+        results_dir,
+        "service",
+        "pods",
+        {
+            "cpus": cpus,
+            "n_pods": len(tasks),
+            "horizon_hours": round(horizon / 3600.0, 2),
+            "arrivals": sum(p["arrivals"] for p in sequential),
+            "wall_seconds": round(seq_wall, 3),
+            "parallel_wall_seconds": (
+                round(par_wall, 3) if par_wall is not None else None
+            ),
+            "speedup": round(speedup, 2),
+        },
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["cpus"] = cpus
+
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        assert speedup >= 2.0, (
+            f"pod fan-out reached only {speedup:.2f}x on {cpus} CPUs"
+        )

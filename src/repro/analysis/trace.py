@@ -54,6 +54,10 @@ class Journal:
     def clear(self) -> None:
         self._events.clear()
 
+    def restore_events(self, events: "list[TraceEvent] | tuple[TraceEvent, ...]") -> None:
+        """Replace the whole event list (checkpoint restore path)."""
+        self._events = list(events)
+
     # -- writing ------------------------------------------------------------
     def emit(self, time: float, kind: str, subject: str, **details: object) -> None:
         if self._enabled:

@@ -9,6 +9,8 @@ Commands
 ``chaos``       Run a deterministic chaos campaign with invariant checks.
 ``trace``       Run a traceable experiment with span tracing and export
                 a Perfetto-loadable Chrome trace (plus Gantt/summary).
+``serve``       Run the continuous-ingestion multi-tenant service with
+                periodic checkpoints; resume from a snapshot file.
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ from .experiments import ALL_EXPERIMENTS, experiment_config, run_all
 from .faults import report_json, run_campaign
 from .hdfs import HdfsDeployment, HdfsReader
 from .smarth import SmarthDeployment
-from .units import fmt_rate, fmt_size, fmt_time, parse_size
+from .units import fmt_rate, fmt_size, fmt_time, parse_duration, parse_size
 from .workloads import compare, contention, heterogeneous, run_upload, two_rack
 from .workloads.scenarios import Scenario
 
@@ -179,6 +181,58 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write one Chrome trace per (run, protocol) into DIR",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the continuous-ingestion service with checkpoints",
+    )
+    serve.add_argument(
+        "--tenants", type=_positive_int, default=500,
+        help="total tenants across the three default classes (default 500)",
+    )
+    serve.add_argument(
+        "--hours", type=float, default=48.0,
+        help="simulated horizon in hours (default 48)",
+    )
+    serve.add_argument(
+        "--checkpoint-every", default="6h", metavar="DUR",
+        help="segment length, e.g. 6h, 30m, 3600 (default 6h)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="write ckpt_NNN.pkl snapshots here after each barrier",
+    )
+    serve.add_argument(
+        "--resume", metavar="FILE", default=None,
+        help="resume from a snapshot file (ignores the spec flags)",
+    )
+    serve.add_argument("--seed", type=int, default=20140901)
+    serve.add_argument(
+        "--shards", type=_positive_int, default=1,
+        help="event-loop shards (default 1)",
+    )
+    serve.add_argument(
+        "--protocol", choices=("hdfs", "smarth"), default="smarth"
+    )
+    serve.add_argument(
+        "--datanodes", type=_positive_int, default=6, metavar="N"
+    )
+    serve.add_argument(
+        "--max-inflight", type=_positive_int, default=8,
+        help="admission control: concurrent upload bound (default 8)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="admission control: backlog bound; overflow rejects (default 16)",
+    )
+    serve.add_argument(
+        "--chaos", action="store_true",
+        help="inject a seed-derived fault plan into the run",
+    )
+    serve.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="write the JSON report here",
     )
 
     sub.add_parser("scenarios", help="list built-in scenarios")
@@ -369,6 +423,59 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import IngestService, ServiceSpec, generate_service_faults
+
+    if args.resume is not None:
+        service = IngestService.resume(args.resume)
+        print(f"resumed from {args.resume}", file=sys.stderr)
+    else:
+        horizon = args.hours * 3600.0
+        faults = (
+            generate_service_faults(args.seed, args.datanodes, horizon)
+            if args.chaos
+            else ()
+        )
+        spec = ServiceSpec.default(
+            tenants=args.tenants,
+            horizon=horizon,
+            checkpoint_every=parse_duration(args.checkpoint_every),
+            seed=args.seed,
+            protocol=args.protocol,
+            shards=args.shards,
+            n_datanodes=args.datanodes,
+            max_inflight=args.max_inflight,
+            queue_limit=args.queue_limit,
+            faults=faults,
+        )
+        service = IngestService(spec)
+    report = service.run(
+        checkpoint_dir=args.checkpoint_dir,
+        progress=lambda line: print(line, file=sys.stderr),
+    )
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"report: {args.report}", file=sys.stderr)
+    counts = report.counts
+    print(report.slo_text, end="")
+    print()
+    print(
+        f"arrivals={counts['arrivals']} completed={counts['completed']} "
+        f"failed={counts['failed']} rejected={counts['rejected']} "
+        f"max_queue={counts['max_queue_depth']}/{counts['queue_limit']}"
+    )
+    digests = report.digests()
+    print(f"journal digest: {digests['journal']}")
+    ok = (
+        counts["conservation_ok"]
+        and counts["queue_bounded"]
+        and counts["inflight_bounded"]
+    )
+    print(f"invariants: {'OK' if ok else 'VIOLATED'}")
+    return 0 if ok else 1
+
+
 def _cmd_scenarios(_args: argparse.Namespace) -> int:
     for scenario in (
         two_rack("small", throttle_mbps=100),
@@ -387,6 +494,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "experiment": _cmd_experiment,
         "chaos": _cmd_chaos,
+        "serve": _cmd_serve,
         "scenarios": _cmd_scenarios,
         "trace": _cmd_trace,
     }

@@ -3,7 +3,10 @@
 Supports killing a named datanode at a fixed simulated time, killing
 "whichever datanode is busy" (useful because placement is randomized), and
 reviving nodes later.  All injections are plain simulation processes, so
-they compose with any workload.
+they compose with any workload.  ``at`` is an *absolute* simulated time:
+an injector created mid-run (e.g. by the ingest service at a segment
+boundary) fires the fault at ``at`` on the shared clock, and a fault whose
+time has already passed fires immediately.
 
 Interplay with the analytic channel model: NIC/disk occupancy is a
 ``busy_until`` quote committed when a transfer starts
@@ -67,7 +70,7 @@ class FaultInjector:
         self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
-            yield env.timeout(at)
+            yield env.timeout(max(0.0, at - env.now))
             datanode = self.deployment.datanode(name)
             if datanode.node.alive:
                 datanode.kill()
@@ -90,7 +93,7 @@ class FaultInjector:
         self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
-            yield env.timeout(at)
+            yield env.timeout(max(0.0, at - env.now))
             busy = [
                 d
                 for d in self.deployment.datanodes.values()
@@ -125,7 +128,7 @@ class FaultInjector:
         self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
-            yield env.timeout(at)
+            yield env.timeout(max(0.0, at - env.now))
             self.deployment.network.throttles.add(
                 NodeThrottle(name, mbps(rate_mbps))
             )
@@ -141,7 +144,7 @@ class FaultInjector:
         self._register_disturbance(at)
 
         def proc(env: Environment) -> ProcessGenerator:
-            yield env.timeout(at)
+            yield env.timeout(max(0.0, at - env.now))
             removed = self.deployment.network.throttles.remove_matching(
                 lambda r: isinstance(r, NodeThrottle) and r.node_name == name
             )
@@ -160,7 +163,7 @@ class FaultInjector:
         self.deployment.datanode(name)  # validate early
 
         def proc(env: Environment) -> ProcessGenerator:
-            yield env.timeout(at)
+            yield env.timeout(max(0.0, at - env.now))
             datanode = self.deployment.datanode(name)
             if not datanode.node.alive:
                 datanode.node.recover()

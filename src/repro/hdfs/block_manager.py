@@ -125,6 +125,18 @@ class BlockManager:
             self.drop_replica(bid, datanode)
         return affected
 
+    # -- snapshot protocol -------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data state for checkpointing, including the ID counter."""
+        # itertools.count reduces to (count, (next_value,)); reading it
+        # this way does not consume a value.
+        next_id = self._ids.__reduce__()[1][0]
+        return {"blocks": dict(self._blocks), "next_id": next_id}
+
+    def restore_state(self, state: dict) -> None:
+        self._blocks = dict(state["blocks"])
+        self._ids = count(state["next_id"])
+
     def _get(self, block_id: int) -> BlockInfo:
         try:
             return self._blocks[block_id]

@@ -15,11 +15,11 @@ through either protocol are actually usable.  Semantics follow Hadoop:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ...cluster.node import Node
+from ...rng import substream
 from ...sim import ProcessGenerator
 from ..deployment import HdfsDeployment
 from ..protocol import Block, FileNotFound, HdfsError
@@ -66,7 +66,7 @@ class HdfsReader:
         self.config = deployment.config
         self.node = host or deployment.cluster.client_host
         self.name = name or self.node.name
-        self.rng = random.Random(self.config.seed ^ 0x8EAD)
+        self._rng_seed = self.config.seed ^ 0x8EAD
 
     # ------------------------------------------------------------------
     def get(self, path: str) -> ProcessGenerator:
@@ -88,14 +88,20 @@ class HdfsReader:
 
     # ------------------------------------------------------------------
     def _candidates(self, block: Block) -> list[str]:
-        """Live replica holders, nearest first (ties broken randomly)."""
+        """Live replica holders, nearest first (ties broken randomly).
+
+        The tie-break draws from a per-(reader, block) substream rather
+        than one shared reader stream, so the candidate order for a block
+        does not depend on how many blocks this reader — or an
+        interleaved sibling — already read.
+        """
         namenode = self.deployment.namenode
         locations = [
             dn
             for dn in namenode.blocks.locations(block.block_id)
             if self.deployment.datanode(dn).node.alive
         ]
-        self.rng.shuffle(locations)
+        substream(self._rng_seed, self.name, block.block_id).shuffle(locations)
         topology = self.network.topology
         if self.node.name in topology:
             locations.sort(key=lambda dn: topology.distance(self.node.name, dn))

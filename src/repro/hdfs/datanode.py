@@ -381,12 +381,20 @@ class Datanode:
         return tuple(self._active)
 
     # -- namenode liaison ----------------------------------------------------
-    def register_with(self, namenode: "Namenode") -> None:
+    def register_with(
+        self, namenode: "Namenode", start_heartbeat: bool = True
+    ) -> None:
         self.namenode = namenode
         namenode.register_datanode(self.name, self.node.rack)
-        self._heartbeat_proc = self.env.process(
-            self._heartbeat_loop(), name=f"hb:{self.name}"
-        )
+        if start_heartbeat:
+            self._heartbeat_proc = self.env.process(
+                self._heartbeat_loop(), name=f"hb:{self.name}"
+            )
+
+    def stop_heartbeats(self) -> None:
+        """Interrupt the heartbeat loop (checkpoint barriers; no-op if idle)."""
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            self._heartbeat_proc.interrupt("heartbeats stopped")
 
     def _heartbeat_loop(self) -> ProcessGenerator:
         assert self.namenode is not None

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import HdfsConfig
-from ..sim import Environment, ProcessGenerator
+from ..sim import Environment, Interrupt, ProcessGenerator
 
 __all__ = ["DatanodeDescriptor", "DatanodeManager"]
 
@@ -108,14 +108,20 @@ class DatanodeManager:
         """Background process that expires silent datanodes.
 
         Runs forever; start it with ``env.process(manager.monitor())``.
+        An :class:`~repro.sim.Interrupt` stops it cleanly — the service
+        checkpoint barrier interrupts it to drain the schedule, then
+        restarts a fresh one.
         """
-        while True:
-            yield self.env.timeout(self.config.heartbeat_interval)
-            cutoff = self.env.now - self.dead_after
-            for descriptor in self._datanodes.values():
-                if descriptor.alive and descriptor.last_heartbeat < cutoff:
-                    descriptor.alive = False
-                    self._invalidate_live()
+        try:
+            while True:
+                yield self.env.timeout(self.config.heartbeat_interval)
+                cutoff = self.env.now - self.dead_after
+                for descriptor in self._datanodes.values():
+                    if descriptor.alive and descriptor.last_heartbeat < cutoff:
+                        descriptor.alive = False
+                        self._invalidate_live()
+        except Interrupt:
+            return
 
     # -- queries ------------------------------------------------------------------
     def live_datanodes(self) -> tuple[str, ...]:
@@ -143,6 +149,23 @@ class DatanodeManager:
 
     def all_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._datanodes))
+
+    # -- snapshot protocol -------------------------------------------------
+    def export_state(self) -> dict:
+        """Descriptors are plain dataclasses; copy them for checkpointing."""
+        return {
+            "datanodes": {
+                name: DatanodeDescriptor(**vars(d))
+                for name, d in self._datanodes.items()
+            }
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._datanodes = {
+            name: DatanodeDescriptor(**vars(d))
+            for name, d in state["datanodes"].items()
+        }
+        self._invalidate_live()
 
     def _get(self, name: str) -> DatanodeDescriptor:
         try:

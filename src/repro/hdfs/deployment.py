@@ -64,6 +64,7 @@ class HdfsDeployment:
         config: Optional[SimulationConfig] = None,
         enable_replication_monitor: bool = True,
         observe: bool = False,
+        start_services: bool = True,
     ):
         self.cluster = cluster
         self.config = config or cluster.config
@@ -94,6 +95,7 @@ class HdfsDeployment:
             journal=self.journal,
             tracer=self.tracer,
             metrics=self.metrics,
+            start_monitor=start_services,
         )
         self.datanodes: dict[str, Datanode] = {}
         for host in cluster.datanode_hosts:
@@ -101,13 +103,15 @@ class HdfsDeployment:
                 self.env, host, self.network, self.config.hdfs,
                 tracer=self.tracer, metrics=self.metrics,
             )
-            datanode.register_with(self.namenode)
+            datanode.register_with(self.namenode, start_heartbeat=start_services)
             self.datanodes[host.name] = datanode
 
         from .replication import ReplicationMonitor
 
         self.replication_monitor: Optional[ReplicationMonitor] = (
-            ReplicationMonitor(self) if enable_replication_monitor else None
+            ReplicationMonitor(self, autostart=start_services)
+            if enable_replication_monitor
+            else None
         )
 
     def client(self, host: Optional[Node] = None, name: Optional[str] = None):

@@ -113,6 +113,19 @@ class SpeedRegistry:
         return out
 
 
+    # -- snapshot protocol -------------------------------------------------
+    def export_state(self) -> dict:
+        """Per-client record maps (plain floats) for checkpointing."""
+        return {
+            "records": {c: dict(r) for c, r in self._records.items()}
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._records = {c: dict(r) for c, r in state["records"].items()}
+        # Rankings are a cache; recomputed lazily on demand.
+        self._ranked = {}
+
+
 class UncachedSpeedRegistry(SpeedRegistry):
     """Reference registry: rebuild the pool and re-sort on every query.
 
@@ -162,6 +175,7 @@ class Namenode:
         journal: Optional[Journal] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        start_monitor: bool = True,
     ):
         self.env = env
         self.node = node
@@ -178,11 +192,26 @@ class Namenode:
         self.placement: PlacementPolicy = placement or DefaultPlacementPolicy(
             network.topology, self.datanodes, self.rng
         )
-        self._monitor = env.process(self.datanodes.monitor(), name="nn:monitor")
+        self._monitor = None
+        if start_monitor:
+            self.start_monitor()
 
     @property
     def name(self) -> str:
         return self.node.name
+
+    # -- liveness-monitor lifecycle (checkpoint barriers stop/restart it) ------
+    def start_monitor(self) -> None:
+        """(Re)start the datanode liveness monitor if it is not running."""
+        if self._monitor is None or not self._monitor.is_alive:
+            self._monitor = self.env.process(
+                self.datanodes.monitor(), name="nn:monitor"
+            )
+
+    def stop_monitor(self) -> None:
+        """Interrupt the liveness monitor (no-op if already stopped)."""
+        if self._monitor is not None and self._monitor.is_alive:
+            self._monitor.interrupt("monitor stopped")
 
     def _rpc(self) -> ProcessGenerator:
         """Charge one client↔namenode RPC round trip (``T_n``)."""

@@ -122,5 +122,14 @@ class Namespace:
     def files(self) -> tuple[str, ...]:
         return tuple(sorted(self._files))
 
+    # -- snapshot protocol ---------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data state for checkpointing (inodes are plain dataclasses)."""
+        return {"files": dict(self._files), "safe_mode": self._safe_mode}
+
+    def restore_state(self, state: dict) -> None:
+        self._files = dict(state["files"])
+        self._safe_mode = bool(state["safe_mode"])
+
     def __len__(self) -> int:
         return len(self._files)

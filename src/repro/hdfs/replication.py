@@ -71,6 +71,7 @@ class ReplicationMonitor:
         deployment: "HdfsDeployment",
         interval: Optional[float] = None,
         max_streams_per_source: int = 2,
+        autostart: bool = True,
     ):
         self.deployment = deployment
         self.env = deployment.env
@@ -88,10 +89,17 @@ class ReplicationMonitor:
         #: Completed re-replications (for tests/reporting).
         self.completed: list[tuple[int, str, str]] = []
         self.rng = random.Random(deployment.config.seed ^ 0x9EA1)
-        self._proc = self.env.process(self._run(), name="nn:replication")
+        self._proc = None
+        if autostart:
+            self.start()
+
+    def start(self) -> None:
+        """(Re)start the scan loop if it is not running."""
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run(), name="nn:replication")
 
     def stop(self) -> None:
-        if self._proc.is_alive:
+        if self._proc is not None and self._proc.is_alive:
             self._proc.interrupt("monitor stopped")
 
     # ------------------------------------------------------------------

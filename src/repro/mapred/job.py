@@ -18,12 +18,12 @@ The interesting questions it answers (see
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..cluster.node import Node
 from ..hdfs.deployment import HdfsDeployment
+from ..rng import substream
 from ..sim import ProcessGenerator, Resource
 from ..units import MB
 
@@ -94,7 +94,7 @@ class MapRunner:
         self.deployment = deployment
         self.env = deployment.env
         self.config = config or JobConfig()
-        self.rng = random.Random(deployment.config.seed ^ 0x3A9)
+        self._rng_seed = deployment.config.seed ^ 0x3A9
         #: One slot pool per datanode, created lazily per job.
         self._slots: dict[str, Resource] = {}
 
@@ -144,8 +144,10 @@ class MapRunner:
             ]
             if holders:
                 # Least-loaded replica holder (Hadoop's scheduler strives
-                # for node-locality first).
-                self.rng.shuffle(holders)
+                # for node-locality first).  The tie-break substream is
+                # keyed per block, so an assignment does not depend on
+                # how many jobs this runner dispatched before it.
+                substream(self._rng_seed, block.block_id).shuffle(holders)
                 node = min(holders, key=lambda d: load[d])
             else:
                 candidates = sorted(load)

@@ -120,6 +120,15 @@ class ThrottleTable:
         self._notify()
         return self
 
+    def replace_rules(self, rules: "list[ThrottleRule] | tuple[ThrottleRule, ...]") -> None:
+        """Swap the whole rule set without notifying listeners.
+
+        Checkpoint restore path: rules are plain picklable objects, and a
+        restore happens on a quiescent deployment (no in-flight
+        reservations), so re-quote listeners have nothing to do.
+        """
+        self._rules = list(rules)
+
     def remove_matching(self, predicate: Callable[[ThrottleRule], bool]) -> int:
         """Drop rules matching ``predicate``; returns how many were removed."""
         kept = [r for r in self._rules if not predicate(r)]

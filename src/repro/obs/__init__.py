@@ -17,7 +17,9 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    labelled,
     publish_env_health,
+    window_bucket,
 )
 from .spans import DISABLED_TRACER, Instant, Span, Tracer
 from .wellformed import WellformednessError, check_wellformed
@@ -33,6 +35,8 @@ __all__ = [
     "Histogram",
     "DISABLED_METRICS",
     "publish_env_health",
+    "labelled",
+    "window_bucket",
     "chrome_trace_json",
     "render_gantt",
     "metrics_summary",

@@ -15,6 +15,7 @@ the observation list, so a fixed seed yields a byte-identical summary.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -24,7 +25,35 @@ __all__ = [
     "MetricsRegistry",
     "DISABLED_METRICS",
     "publish_env_health",
+    "labelled",
+    "window_bucket",
 ]
+
+
+def labelled(name: str, **labels: object) -> str:
+    """Render a metric name with labels: ``name{k=v,...}``, keys sorted.
+
+    Sorting makes the rendered name deterministic regardless of keyword
+    order at the call site, so per-tenant-class instruments land at stable
+    positions in the name-sorted summary.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def window_bucket(name: str, when: float, width: float) -> str:
+    """Bucket a metric name by time window: ``name[NNNNNN]``.
+
+    ``when`` (simulated seconds) falls into window ``floor(when / width)``;
+    the index is zero-padded to six digits so windows sort numerically in
+    the name-sorted metrics summary.  The ingest service uses this for
+    per-window latency histograms over multi-day horizons.
+    """
+    if width <= 0:
+        raise ValueError(f"window width must be positive, got {width}")
+    return f"{name}[{int(when // width):06d}]"
 
 
 @dataclass
@@ -66,6 +95,21 @@ class Histogram:
     @property
     def maximum(self) -> float:
         return max(self.observations) if self.observations else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile (``q`` in [0, 100]) of the observations.
+
+        Nearest-rank is exact and deterministic (no interpolation), which
+        keeps SLO tables byte-stable across platforms.  Returns 0.0 for an
+        empty histogram.
+        """
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.observations:
+            return 0.0
+        ordered = sorted(self.observations)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
 
 
 class MetricsRegistry:
@@ -138,6 +182,33 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._histograms.get(name) or Histogram(name)
+
+    # -- snapshot protocol -------------------------------------------------
+    def export_state(self) -> dict:
+        """Plain-data instrument contents for checkpointing."""
+        return {
+            "enabled": self._enabled,
+            "counters": {n: c.value for n, c in self._counters.items()},
+            "gauges": {
+                n: (g.value, g.max_value) for n, g in self._gauges.items()
+            },
+            "histograms": {
+                n: list(h.observations) for n, h in self._histograms.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._enabled = bool(state["enabled"])
+        self._counters = {
+            n: Counter(n, v) for n, v in state["counters"].items()
+        }
+        self._gauges = {
+            n: Gauge(n, v, mx) for n, (v, mx) in state["gauges"].items()
+        }
+        self._histograms = {
+            n: Histogram(n, list(obs))
+            for n, obs in state["histograms"].items()
+        }
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,74 @@
+"""Per-tenant SLO reporting from :mod:`repro.obs` histograms.
+
+The service records every upload latency twice — once per class and once
+per tenant — under labelled metric names
+(``service.latency{cls=interactive}`` and
+``service.latency{cls=interactive,tenant=interactive-0007}``), plus one
+violation counter per class.  :func:`slo_table` renders those instruments
+into a fixed-width, name-sorted, byte-deterministic table: one row per
+class (count, p50/p95/p99, SLO target, violations) followed by the ten
+worst tenants by p99.
+"""
+
+from __future__ import annotations
+
+from ..obs import MetricsRegistry, labelled
+
+__all__ = ["slo_table", "LATENCY", "VIOLATIONS"]
+
+LATENCY = "service.latency"
+VIOLATIONS = "service.slo_violations"
+
+_WORST_TENANTS = 10
+
+
+def class_latency(cls: str) -> str:
+    return labelled(LATENCY, cls=cls)
+
+
+def tenant_latency(cls: str, tenant: str) -> str:
+    return labelled(LATENCY, cls=cls, tenant=tenant)
+
+
+def class_violations(cls: str) -> str:
+    return labelled(VIOLATIONS, cls=cls)
+
+
+def _fmt(value: float) -> str:
+    return f"{value:12.6f}"
+
+
+def slo_table(metrics: MetricsRegistry, classes) -> str:
+    """Render the per-class + worst-tenant SLO table (deterministic)."""
+    lines = [
+        f"{'class':<14s} {'count':>8s} {'p50':>12s} {'p95':>12s} "
+        f"{'p99':>12s} {'slo':>12s} {'violations':>10s}"
+    ]
+    for spec in classes:
+        hist = metrics.histogram(class_latency(spec.name))
+        violations = metrics.counter_value(class_violations(spec.name))
+        lines.append(
+            f"{spec.name:<14s} {hist.count:>8d} "
+            f"{_fmt(hist.percentile(50))} {_fmt(hist.percentile(95))} "
+            f"{_fmt(hist.percentile(99))} {_fmt(spec.slo)} "
+            f"{int(violations):>10d}"
+        )
+
+    tenants: list[tuple[float, str, int]] = []
+    prefix = f"{LATENCY}{{cls="
+    for hist in metrics.histograms():
+        if hist.name.startswith(prefix) and ",tenant=" in hist.name:
+            tenant = hist.name.rsplit("tenant=", 1)[1].rstrip("}")
+            tenants.append((hist.percentile(99), tenant, hist.count))
+    tenants.sort(key=lambda t: (-t[0], t[1]))
+
+    if tenants:
+        lines.append("")
+        lines.append(
+            f"worst tenants by p99 (top {min(_WORST_TENANTS, len(tenants))} "
+            f"of {len(tenants)})"
+        )
+        lines.append(f"{'tenant':<22s} {'count':>8s} {'p99':>12s}")
+        for p99, tenant, count in tenants[:_WORST_TENANTS]:
+            lines.append(f"{tenant:<22s} {count:>8d} {_fmt(p99)}")
+    return "\n".join(lines) + "\n"

@@ -7,7 +7,7 @@ primitives.  See :class:`Environment` for the entry point.
 """
 
 from .environment import Environment, total_events_processed
-from .errors import EmptySchedule, Interrupt, SimulationError
+from .errors import EmptySchedule, Interrupt, SimulationError, SnapshotError
 from .events import AllOf, AnyOf, Condition, Event, Timeout, race
 from .process import Process, ProcessGenerator
 from .shard import CausalityError, ShardedEnvironment, lookahead_from_config
@@ -39,6 +39,7 @@ __all__ = [
     "Interrupt",
     "SimulationError",
     "EmptySchedule",
+    "SnapshotError",
     "Channel",
     "Reservation",
     "Resource",

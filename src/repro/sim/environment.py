@@ -104,6 +104,48 @@ class Environment:
             "pending": len(self),
         }
 
+    # -- snapshot protocol ---------------------------------------------------
+    def clock_state(self) -> dict:
+        """Plain-data clock/counter state for checkpointing.
+
+        Only meaningful at a *quiescent* point (empty schedule): pending
+        heap entries hold live generator frames and cannot be serialized.
+        The event-id counter is captured without consuming a value so the
+        snapshot itself never perturbs scheduling order.
+        """
+        # itertools.count reduces to (count, (next_value,)).
+        next_eid = self._eid.__reduce__()[1][0]
+        return {
+            "now": self._now,
+            "next_eid": next_eid,
+            "events_processed": self.events_processed,
+            "tombstones_skipped": self.tombstones_skipped,
+            "compactions_run": self.compactions_run,
+            "heap_high_water": self.heap_high_water,
+        }
+
+    def restore_clock(self, state: dict) -> None:
+        """Restore :meth:`clock_state` onto a fresh, empty environment.
+
+        Refuses to run with events pending: any entry scheduled before the
+        restore would carry a pre-restore event id and break the global
+        ``(time, priority, eid)`` dispatch order the checkpoint proof
+        relies on.
+        """
+        from .errors import SnapshotError
+
+        if len(self) != 0:
+            raise SnapshotError(
+                f"restore_clock requires an empty schedule, {len(self)} "
+                "events pending"
+            )
+        self._now = float(state["now"])
+        self._eid = count(state["next_eid"])
+        self.events_processed = state["events_processed"]
+        self.tombstones_skipped = state["tombstones_skipped"]
+        self.compactions_run = state["compactions_run"]
+        self.heap_high_water = state["heap_high_water"]
+
     def __len__(self) -> int:
         """Number of live (non-cancelled) scheduled events."""
         return len(self._queue) - self._tombstones

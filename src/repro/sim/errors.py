@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["SimulationError", "Interrupt", "StopSimulation", "EmptySchedule"]
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "StopSimulation",
+    "EmptySchedule",
+    "SnapshotError",
+]
 
 
 class SimulationError(Exception):
@@ -41,3 +47,13 @@ class StopSimulation(Exception):
 
 class EmptySchedule(SimulationError):
     """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class SnapshotError(SimulationError):
+    """A checkpoint could not be taken or restored safely.
+
+    Raised when a snapshot is attempted on a non-quiescent environment
+    (events still pending — their generator frames cannot serialize), when
+    a snapshot file has an unknown format/version, or when restored state
+    fails a consistency check.
+    """

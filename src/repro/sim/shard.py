@@ -170,6 +170,37 @@ class ShardedEnvironment(Environment):
         )
         return health
 
+    # -- snapshot protocol -------------------------------------------------
+    def clock_state(self) -> dict:
+        """Base clock state plus shard counters (see :class:`Environment`)."""
+        state = super().clock_state()
+        state.update(
+            {
+                "shards": self._shards,
+                "inter_shard_messages": self.inter_shard_messages,
+                "window_barriers": self.window_barriers,
+                "shard_events": list(self._shard_events),
+                "shard_scheduled": list(self._shard_scheduled),
+                "shard_high_water": list(self._shard_high_water),
+            }
+        )
+        return state
+
+    def restore_clock(self, state: dict) -> None:
+        from .errors import SnapshotError
+
+        if state.get("shards", self._shards) != self._shards:
+            raise SnapshotError(
+                f"snapshot was taken with {state.get('shards')} shards, "
+                f"this environment has {self._shards}"
+            )
+        super().restore_clock(state)
+        self.inter_shard_messages = state["inter_shard_messages"]
+        self.window_barriers = state["window_barriers"]
+        self._shard_events = list(state["shard_events"])
+        self._shard_scheduled = list(state["shard_scheduled"])
+        self._shard_high_water = list(state["shard_high_water"])
+
     # -- shard affinity ----------------------------------------------------
     @contextmanager
     def pinned(self, shard: int) -> Iterator[None]:

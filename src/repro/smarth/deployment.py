@@ -30,12 +30,14 @@ class SmarthDeployment(HdfsDeployment):
         config: Optional[SimulationConfig] = None,
         enable_replication_monitor: bool = True,
         observe: bool = False,
+        start_services: bool = True,
     ):
         super().__init__(
             cluster,
             config=config,
             enable_replication_monitor=enable_replication_monitor,
             observe=observe,
+            start_services=start_services,
         )
         cfg = self.config
         self.namenode.placement = SmarthPlacementPolicy(

@@ -96,6 +96,16 @@ class SmarthClient:
             self._datanode_set = frozenset(self.deployment.datanodes)
         return self._datanode_set
 
+    def stop_reporter(self) -> None:
+        """Interrupt the speed-reporter loop if it is still running.
+
+        :meth:`put` stops it on success; a *failed* upload leaves it
+        alive, so service wrappers call this in a ``finally`` to keep the
+        schedule drainable.
+        """
+        if self._reporter.is_alive:
+            self._reporter.interrupt("client stopped")
+
     # ------------------------------------------------------------------
     def put(self, path: str, size: int) -> ProcessGenerator:
         """Upload ``size`` bytes to ``path`` (returns a WriteResult)."""

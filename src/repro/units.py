@@ -31,6 +31,7 @@ __all__ = [
     "to_gigabytes",
     "parse_size",
     "parse_rate",
+    "parse_duration",
     "fmt_size",
     "fmt_rate",
     "fmt_time",
@@ -157,6 +158,37 @@ def parse_rate(text: str | int | float) -> float:
         return value * _RATE_SUFFIXES[suffix]
     except KeyError:
         raise ValueError(f"unknown rate suffix in {text!r}") from None
+
+
+_DURATION_SUFFIXES = {
+    "s": 1.0,
+    "sec": 1.0,
+    "m": 60.0,
+    "min": 60.0,
+    "h": 3600.0,
+    "hr": 3600.0,
+    "d": 86400.0,
+}
+
+
+def parse_duration(text: str | int | float) -> float:
+    """Parse a duration string (``"6h"``, ``"30m"``, ``"2d"``) to seconds.
+
+    Bare numbers are interpreted as seconds.  Raises :class:`ValueError`
+    for unrecognized suffixes.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise ValueError(f"unparseable duration: {text!r}")
+    value, suffix = float(match.group(1)), match.group(2).lower()
+    if not suffix:
+        return value
+    try:
+        return value * _DURATION_SUFFIXES[suffix]
+    except KeyError:
+        raise ValueError(f"unknown duration suffix in {text!r}") from None
 
 
 def fmt_size(n_bytes: float) -> str:

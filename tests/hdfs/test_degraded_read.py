@@ -1,0 +1,138 @@
+"""Degraded-read coverage: reads racing datanode death.
+
+The existing read-path tests kill replicas *between* operations; these
+kill them *mid-stream* and check the contract the reader must keep while
+the cluster degrades underneath it:
+
+* a source dying mid-block makes the reader fall back to the
+  nearest-next candidate, transparently and completely;
+* a read never serves un-acked bytes — every source it used held a
+  *finalized* replica of that block, even when the file was written
+  through a pipeline failure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import BlockUnavailable, HdfsDeployment, HdfsReader
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def build(smarth=False, n_datanodes=9, seed=0):
+    env = Environment()
+    cfg = SimulationConfig(seed=seed).with_hdfs(
+        block_size=2 * MB, packet_size=64 * KB
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=n_datanodes, config=cfg)
+    deployment = SmarthDeployment(cluster) if smarth else HdfsDeployment(cluster)
+    return env, deployment
+
+
+def ingest(env, deployment, size, path="/f"):
+    client = deployment.client()
+    env.run(until=env.process(client.put(path, size)))
+    return deployment.namenode.namespace.get(path)
+
+
+@pytest.mark.parametrize("smarth", [False, True], ids=["hdfs", "smarth"])
+def test_source_death_mid_stream_falls_back_nearest_next(smarth):
+    env, deployment = build(smarth=smarth)
+    inode = ingest(env, deployment, 4 * MB)
+    reader = HdfsReader(deployment)
+    block0 = inode.blocks[0]
+    candidates = reader._candidates(block0)
+
+    def killer(env):
+        # Partway through block 0's stream (a 2 MB block takes ~75 ms at
+        # NIC rate) — strictly after the read began.
+        yield env.timeout(0.02)
+        deployment.datanode(candidates[0]).kill()
+
+    env.process(killer(env))
+    result = env.run(until=env.process(reader.get("/f")))
+
+    assert result.size == 4 * MB
+    sources = dict(result.sources)
+    # The reader abandoned the dead first choice and continued from the
+    # next-nearest candidate of its original preference order.
+    assert sources[block0.block_id] != candidates[0]
+    assert sources[block0.block_id] == candidates[1]
+    # Every block was still served in full from a live holder.
+    for block_id, source in result.sources:
+        assert deployment.datanode(source).node.alive
+
+
+def test_later_block_unavailable_raises_after_partial_progress():
+    env, deployment = build(n_datanodes=6)
+    inode = ingest(env, deployment, 4 * MB)
+    last = inode.blocks[-1]
+    for holder in list(deployment.namenode.blocks.locations(last.block_id)):
+        deployment.datanode(holder).kill()
+    reader = HdfsReader(deployment)
+    with pytest.raises(BlockUnavailable):
+        env.run(until=env.process(reader.get("/f")))
+
+
+@pytest.mark.parametrize("smarth", [False, True], ids=["hdfs", "smarth"])
+def test_sources_are_finalized_replicas_after_pipeline_failure(smarth):
+    """Never serve un-acked bytes.
+
+    Kill a datanode while it is mid-pipeline for the write, so some
+    expected-but-never-acked replicas exist; the reader must source each
+    block only from replicas the namenode finalized (acked), never from
+    a node that merely *expected* the block.
+    """
+    env, deployment = build(smarth=smarth)
+
+    def killer(env):
+        yield env.timeout(0.05)
+        busy = [
+            d
+            for d in deployment.datanodes.values()
+            if d.active_receivers > 0 and d.node.alive
+        ]
+        if busy:
+            busy[0].kill()
+
+    env.process(killer(env))
+    ingest(env, deployment, 8 * MB)
+
+    reader = HdfsReader(deployment)
+    result = env.run(until=env.process(reader.get("/f")))
+    assert result.size == 8 * MB
+
+    blocks = deployment.namenode.blocks
+    for block_id, source in result.sources:
+        assert source in blocks.locations(block_id), (
+            f"block {block_id} read from {source}, which never acked it"
+        )
+        assert deployment.datanode(source).node.alive
+
+
+def test_candidates_exclude_dead_and_unacked_holders():
+    env, deployment = build()
+    inode = ingest(env, deployment, 2 * MB)
+    block = inode.blocks[0]
+    blocks = deployment.namenode.blocks
+    reader = HdfsReader(deployment)
+
+    finalized = list(blocks.locations(block.block_id))
+    # An expected-but-unacked replica must never become a candidate.
+    spare = next(
+        name
+        for name in sorted(deployment.datanodes)
+        if name not in finalized
+    )
+    blocks.expect_replicas(block.block_id, (spare,))
+    assert spare not in reader._candidates(block)
+
+    # Neither must a dead holder, even though it acked the block once.
+    deployment.datanode(finalized[0]).kill()
+    remaining = reader._candidates(block)
+    assert finalized[0] not in remaining
+    assert set(remaining) == set(finalized) - {finalized[0]}

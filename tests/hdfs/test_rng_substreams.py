@@ -1,0 +1,111 @@
+"""Regression tests: shuffle determinism is per-call, not per-consumer.
+
+The reader's replica tie-break and the map scheduler's holder tie-break
+used to draw from one shared ``random.Random`` per consumer, so the
+outcome for a block depended on how many blocks had been processed
+before it — interleaving a second reader (or an earlier job) silently
+changed the choices.  Both now key a substream per (consumer, block),
+making every choice order-independent.  These tests pin that property.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment, HdfsReader
+from repro.mapred import MapRunner
+from repro.rng import substream, substream_seed
+from repro.sim import Environment
+from repro.units import KB, MB
+
+
+def build(seed=0):
+    env = Environment()
+    cfg = SimulationConfig(seed=seed).with_hdfs(
+        block_size=MB, packet_size=64 * KB
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = HdfsDeployment(cluster)
+    client = deployment.client()
+    env.run(until=env.process(client.put("/a", 3 * MB)))
+    env.run(until=env.process(client.put("/b", 3 * MB)))
+    return env, deployment
+
+
+class TestSubstreamPrimitive:
+    def test_deterministic_and_key_sensitive(self):
+        assert substream_seed(1, "x", 2) == substream_seed(1, "x", 2)
+        assert substream_seed(1, "x", 2) != substream_seed(1, "x", 3)
+        assert substream_seed(1, "x", 2) != substream_seed(1, "y", 2)
+        assert substream_seed(1, "x", 2) != substream_seed(2, "x", 2)
+        assert substream(5, "k").random() == substream(5, "k").random()
+
+    def test_draws_do_not_couple_streams(self):
+        a = substream(7, "a")
+        first = substream(7, "b").random()
+        for _ in range(100):
+            a.random()
+        assert substream(7, "b").random() == first
+
+
+class TestReaderCandidateOrder:
+    def test_independent_of_evaluation_order(self):
+        env, deployment = build()
+        reader = HdfsReader(deployment)
+        blocks = deployment.namenode.namespace.get("/a").blocks
+        forward = [reader._candidates(b) for b in blocks]
+        backward = [reader._candidates(b) for b in reversed(blocks)]
+        assert forward == list(reversed(backward))
+
+    def test_independent_of_sibling_readers(self):
+        env, deployment = build()
+        blocks = deployment.namenode.namespace.get("/b").blocks
+
+        solo = HdfsReader(deployment, name="r1")
+        expected = [solo._candidates(b) for b in blocks]
+
+        # Interleave another reader's draws between every evaluation.
+        noisy = HdfsReader(deployment, name="r1")
+        sibling = HdfsReader(deployment, name="r2")
+        got = []
+        for b in blocks:
+            for other in deployment.namenode.namespace.get("/a").blocks:
+                sibling._candidates(other)
+            got.append(noisy._candidates(b))
+        assert got == expected
+
+    def test_interleaved_reads_pick_same_sources(self):
+        """End to end: reading /a concurrently must not change /b's
+        sources versus reading /b alone."""
+        env1, dep1 = build(seed=42)
+        reader = HdfsReader(dep1, name="r")
+        alone = env1.run(until=env1.process(reader.get("/b")))
+
+        env2, dep2 = build(seed=42)
+        reader_b = HdfsReader(dep2, name="r")
+        reader_a = HdfsReader(dep2, name="other")
+        env2.process(reader_a.get("/a"))
+        together = env2.run(until=env2.process(reader_b.get("/b")))
+
+        assert together.sources == alone.sources
+
+
+class TestMapAssignmentOrder:
+    @staticmethod
+    def _assignments(runner, deployment, path):
+        inode = deployment.namenode.namespace.get(path)
+        runner._slots = dict.fromkeys(sorted(deployment.datanodes))
+        pairs = runner._assign(inode.blocks)
+        return [(b.block_id, node) for b, node in pairs]
+
+    def test_prior_job_does_not_shift_assignments(self):
+        env1, dep1 = build(seed=7)
+        fresh = MapRunner(dep1)
+        only_b = self._assignments(fresh, dep1, "/b")
+
+        env2, dep2 = build(seed=7)
+        reused = MapRunner(dep2)
+        env2.run(until=env2.process(reused.run("/a")))
+        after_a = self._assignments(reused, dep2, "/b")
+
+        assert after_a == only_b

@@ -1,0 +1,83 @@
+"""Property test: map-task locality claims are truthful.
+
+``TaskRecord.data_local=True`` is a promise that the task's node held a
+finalized replica of its block when the task was assigned — across
+seeds, file sizes, protocols and a random subset of dead datanodes.
+Conversely, a non-local task may only happen when *no* live slot-holding
+node had the replica.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment
+from repro.mapred import MapRunner
+from repro.sim import Environment
+from repro.smarth import SmarthDeployment
+from repro.units import KB, MB
+
+
+def _run_job(seed: int, n_blocks: int, smarth: bool, kills: list[int]):
+    env = Environment()
+    cfg = SimulationConfig(seed=seed).with_hdfs(
+        block_size=MB, packet_size=64 * KB
+    )
+    cluster = build_homogeneous(env, SMALL, n_datanodes=9, config=cfg)
+    deployment = SmarthDeployment(cluster) if smarth else HdfsDeployment(cluster)
+    client = deployment.client()
+    env.run(until=env.process(client.put("/input", n_blocks * MB)))
+    for i in sorted(set(kills)):
+        deployment.datanode(f"dn{i}").kill()
+    runner = MapRunner(deployment)
+    try:
+        result = env.run(until=env.process(runner.run("/input")))
+    except RuntimeError:
+        # Legitimate only when some block lost every live replica.
+        result = None
+    return deployment, result
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n_blocks=st.integers(min_value=1, max_value=6),
+    smarth=st.booleans(),
+    kills=st.lists(
+        st.integers(min_value=0, max_value=8), max_size=4, unique=True
+    ),
+)
+def test_data_local_tasks_run_on_replica_holders(seed, n_blocks, smarth, kills):
+    deployment, result = _run_job(seed, n_blocks, smarth, kills)
+    blocks = deployment.namenode.blocks
+    alive = {
+        name
+        for name, dn in deployment.datanodes.items()
+        if dn.node.alive
+    }
+
+    inode = deployment.namenode.namespace.get("/input")
+    if result is None:
+        # The job may only fail outright if a block has no live replica
+        # anywhere (not merely none on a slot-holding node).
+        assert any(
+            not (set(blocks.locations(b.block_id)) & alive)
+            for b in inode.blocks
+        )
+        return
+
+    assert len(result.tasks) == result.n_tasks == n_blocks
+    for task in result.tasks:
+        holders = set(blocks.locations(task.block_id))
+        live_holders = holders & alive
+        # Tasks only ever run on nodes that were alive at assignment.
+        assert task.node in alive
+        if task.data_local:
+            # The locality claim: the node really held the replica.
+            assert task.node in holders
+        else:
+            # Non-local only when locality was impossible.
+            assert not live_holders

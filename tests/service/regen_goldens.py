@@ -1,0 +1,34 @@
+"""Regenerate the pinned service checkpoint/resume goldens.
+
+Usage:  PYTHONPATH=src python tests/service/regen_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+sys.path.insert(0, str(HERE.parents[1]))
+
+from repro.service import IngestService  # noqa: E402
+
+from tests.service.specs import golden_spec  # noqa: E402
+
+
+def main() -> None:
+    goldens = {}
+    for label, chaos in (("plain", False), ("chaos", True)):
+        report = IngestService(golden_spec(shards=1, chaos=chaos)).run()
+        goldens[label] = {
+            "digests": report.digests(),
+            "counts": report.counts,
+        }
+    path = HERE / "golden_service_digests.json"
+    path.write_text(json.dumps(goldens, sort_keys=True, indent=2) + "\n")
+    print(f"wrote {path} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -174,3 +174,63 @@ class TestCommands:
         report = json.loads(out.read_text())
         assert report["protocols"] == ["hdfs"]
         assert report["outcomes"] == {"completed": 1}
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.tenants == 500
+        assert args.hours == 48.0
+        assert args.checkpoint_every == "6h"
+        assert args.seed == 20140901
+        assert args.shards == 1
+        assert args.protocol == "smarth"
+        assert not args.chaos
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--protocol", "nfs"])
+
+    def test_serve_runs_and_reports(self, capsys, tmp_path):
+        report = tmp_path / "report.json"
+        rc = main(
+            [
+                "serve",
+                "--tenants", "40",
+                "--hours", "0.2",
+                "--checkpoint-every", "5m",
+                "--seed", "3",
+                "--report", str(report),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "invariants: OK" in out
+        assert "journal digest: " in out
+        assert out.splitlines()[0].split()[0] == "class"
+        payload = json.loads(report.read_text())
+        assert payload["counts"]["tenants"] == 40
+        assert set(payload["digests"]) == {"journal", "metrics", "slo"}
+
+    def test_serve_checkpoint_resume_digests_match(self, capsys, tmp_path):
+        straight_args = [
+            "serve",
+            "--tenants", "40",
+            "--hours", "0.2",
+            "--checkpoint-every", "4m",
+            "--seed", "11",
+            "--chaos",
+        ]
+        assert main(straight_args) == 0
+        straight = capsys.readouterr().out
+
+        ckpt_dir = tmp_path / "ckpts"
+        ckpt_dir.mkdir()
+        assert main(straight_args + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+        capsys.readouterr()
+        checkpoints = sorted(ckpt_dir.glob("ckpt_*.pkl"))
+        assert checkpoints
+
+        rc = main(["serve", "--resume", str(checkpoints[0])])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "resumed from" in captured.err
+        assert captured.out == straight

@@ -17,6 +17,7 @@ from repro.units import (
     kilobytes,
     mbps,
     megabytes,
+    parse_duration,
     parse_rate,
     parse_size,
     to_gigabytes,
@@ -110,3 +111,25 @@ def test_parse_size_of_fmt_is_close(n):
     rendered = fmt_size(n)
     reparsed = units.parse_size(rendered.replace(" ", ""))
     assert reparsed == pytest.approx(n, rel=0.01, abs=1)
+
+
+class TestParseDuration:
+    def test_suffixes(self):
+        assert parse_duration("6h") == 6 * 3600.0
+        assert parse_duration("30m") == 1800.0
+        assert parse_duration("2d") == 2 * 86400.0
+        assert parse_duration("45s") == 45.0
+        assert parse_duration("90sec") == 90.0
+        assert parse_duration("5min") == 300.0
+        assert parse_duration("1.5hr") == 5400.0
+
+    def test_bare_numbers_are_seconds(self):
+        assert parse_duration("42") == 42.0
+        assert parse_duration(42) == 42.0
+        assert parse_duration(1.5) == 1.5
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_duration("soon")
+        with pytest.raises(ValueError):
+            parse_duration("6 fortnights")
