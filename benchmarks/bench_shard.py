@@ -148,6 +148,21 @@ def _run_matrix(benchmark, results_dir, section, plan, bench_shards):
             "events_per_sec": eps,
             "inproc_wall_seconds": round(inproc_wall, 3),
             "inproc_shard_events": inproc.health["shard_events"],
+            "inproc_health": {
+                key: inproc.health[key]
+                for key in (
+                    "events_dispatched",
+                    "heap_high_water",
+                    "inter_shard_messages",
+                    "window_barriers",
+                    "window_events",
+                    "window_batch_max",
+                    "window_batch_mean",
+                    "window_workers",
+                    "shard_imbalance",
+                )
+                if key in inproc.health
+            },
             "timeline_identical": True,  # asserted above, for every mode
             "process_runs": process_rows,
             "speedup": round(best_speedup, 2),

@@ -1,7 +1,7 @@
 """CI perf-floor gate: compare BENCH_*.json results against perf_floor.json.
 
 Run after ``pytest benchmarks/bench_kernel.py benchmarks/bench_scale.py
-benchmarks/bench_shard.py``:
+benchmarks/bench_shard.py benchmarks/bench_campaign.py``:
 
     python benchmarks/check_perf_floor.py
 
@@ -11,9 +11,15 @@ Every top-level group in ``perf_floor.json`` (besides ``comment`` and
 group's limits.  Fails (exit 1) when a measured ``events_per_sec`` drops
 more than the configured tolerance below its checked-in floor, or when a
 machine-independent ratio (the packet-train ``event_reduction``, the
-allocation-path ``speedup``) falls under its minimum.  Raising a floor is
-a normal part of landing a perf win; lowering one is a perf regression
-and needs justification in the PR.
+allocation-path ``speedup``) falls under its minimum.  Parallel-speedup
+floors are gated on the machine being able to demonstrate them at all:
+``min_cpus`` skips a section's ratio floors on small machines, and
+``requires_no_gil`` skips them when the benchmark recorded
+``gil_enabled`` true (a thread-pool drain cannot scale under the GIL).
+Skips are loud — they appear in the detail lines and in the summary
+table printed at the end.  Raising a floor is a normal part of landing a
+perf win; lowering one is a perf regression and needs justification in
+the PR.
 """
 
 from __future__ import annotations
@@ -35,10 +41,17 @@ RATIO_FLOORS = {
 }
 
 
-def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
-    """Check one floors group against its ``BENCH_<group>.json``."""
+def check_group(
+    group: str, sections: dict, tolerance: float, rows: list
+) -> list[str]:
+    """Check one floors group against its ``BENCH_<group>.json``.
+
+    Appends one ``(check, measured, floor, status)`` row per check to
+    ``rows`` for the summary table; returns the failure messages.
+    """
     results_path = RESULTS_DIR / f"BENCH_{group}.json"
     if not results_path.exists():
+        rows.append((group, "-", "-", "MISSING"))
         return [
             f"missing {results_path}: run the benchmarks/bench_{group}* "
             "suite first"
@@ -49,6 +62,7 @@ def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
     for section, limits in sections.items():
         measured = bench.get(section)
         if measured is None:
+            rows.append((f"{group}.{section}", "-", "-", "MISSING"))
             failures.append(f"{group}.{section}: missing from {results_path.name}")
             continue
         floor_eps = limits.get("events_per_sec")
@@ -60,28 +74,46 @@ def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
                 f"{group}.{section}.events_per_sec: {actual} "
                 f"(floor {floor_eps}, min allowed {allowed:.0f}) {status}"
             )
+            rows.append(
+                (
+                    f"{group}.{section}.events_per_sec",
+                    f"{actual}",
+                    f">= {allowed:.0f}",
+                    status,
+                )
+            )
             if actual < allowed:
                 failures.append(
                     f"{group}.{section}.events_per_sec {actual} < {allowed:.0f}"
                 )
         min_cpus = limits.get("min_cpus")
         cpus = measured.get("cpus")
-        ratios_apply = not (
-            min_cpus is not None
-            and cpus is not None
-            and cpus < min_cpus
-        )
+        skip_reason = None
+        if min_cpus is not None and cpus is not None and cpus < min_cpus:
+            skip_reason = f"{cpus} cpus < min_cpus {min_cpus}"
+        elif limits.get("requires_no_gil") and measured.get("gil_enabled", True):
+            skip_reason = "gil enabled"
         for floor_key, measured_key in RATIO_FLOORS.items():
             minimum = limits.get(floor_key)
             if minimum is None:
                 continue
-            if not ratios_apply:
+            if skip_reason is not None:
                 # A parallel-speedup floor is meaningless on a machine
-                # with fewer cores than the backend needs — report, don't
-                # fail (CI runners satisfy min_cpus; laptops may not).
+                # that cannot physically parallelize (too few cores, or
+                # a GIL serializing the thread pool) — report, don't
+                # fail (CI runners satisfy min_cpus; laptops may not,
+                # and stock CPython keeps its GIL).
                 print(
                     f"{group}.{section}.{measured_key}: skipped "
-                    f"({cpus} cpus < min_cpus {min_cpus})"
+                    f"({skip_reason})"
+                )
+                rows.append(
+                    (
+                        f"{group}.{section}.{measured_key}",
+                        f"{measured.get(measured_key, 0.0)}x",
+                        f">= {minimum}x",
+                        f"skip ({skip_reason})",
+                    )
                 )
                 continue
             actual = measured.get(measured_key, 0.0)
@@ -90,6 +122,14 @@ def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
                 f"{group}.{section}.{measured_key}: {actual}x "
                 f"(min {minimum}x) {status}"
             )
+            rows.append(
+                (
+                    f"{group}.{section}.{measured_key}",
+                    f"{actual}x",
+                    f">= {minimum}x",
+                    status,
+                )
+            )
             if actual < minimum:
                 failures.append(
                     f"{group}.{section}.{measured_key} {actual} < {minimum}"
@@ -97,15 +137,33 @@ def check_group(group: str, sections: dict, tolerance: float) -> list[str]:
     return failures
 
 
+def print_summary(rows: list) -> None:
+    """One line per check, aligned: check | measured | floor | status."""
+    headers = ("check", "measured", "floor", "status")
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows))
+        for col in range(4)
+    ]
+    print("\nsummary:")
+    print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + "  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
 def main() -> int:
     floors = json.loads(FLOORS.read_text())
     tolerance = float(floors.get("tolerance", 0.30))
 
     failures = []
+    rows: list[tuple[str, str, str, str]] = []
     for group, sections in floors.items():
         if group in ("comment", "tolerance"):
             continue
-        failures.extend(check_group(group, sections, tolerance))
+        failures.extend(check_group(group, sections, tolerance, rows))
+
+    if rows:
+        print_summary(rows)
 
     if failures:
         print("perf floor check FAILED:")

@@ -88,6 +88,17 @@ class HdfsConfig:
     #: is always clamped by buffer headroom.  Timing is bit-identical
     #: either way (golden-equivalence tested).
     coalesce_packets: int = 0
+    #: Vectorized batch completion kernel for conducted trains.  ``1``
+    #: (the default) lets a :class:`~repro.hdfs.train.PacketTrain` consume
+    #: every already-produced chunk in one synchronous pass (analytic get
+    #: times, zero heap events per packet) and run numpy-vectorized
+    #: frozen-prefix replays and settle counters; ``0`` falls back to the
+    #: scalar per-row conductor.  The batched feeder only engages when the
+    #: whole file fits the data queue (so producer backpressure can never
+    #: bind and chunk availability is provably identical); timing is
+    #: bit-identical either way (equivalence tested like
+    #: ``coalesce_packets``).
+    batch_completions: int = 1
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -104,6 +115,8 @@ class HdfsConfig:
             raise ValueError("socket_buffer must be positive")
         if self.coalesce_packets < 0:
             raise ValueError("coalesce_packets must be >= 0")
+        if self.batch_completions not in (0, 1):
+            raise ValueError("batch_completions must be 0 or 1")
 
     @property
     def packets_per_block(self) -> int:

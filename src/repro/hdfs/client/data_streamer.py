@@ -29,6 +29,9 @@ class HdfsClient:
     """Baseline write client (the paper's unmodified Hadoop 1.0.3)."""
 
     system = "hdfs"
+    #: Whether the current upload's file fits the data queue (set per
+    #: put); gates the train's batched feeder.
+    _batchable = False
 
     def __init__(
         self,
@@ -66,6 +69,12 @@ class HdfsClient:
         # Step 2: producer starts filling the data queue.
         plans = plan_file(size, hdfs_cfg)
         data_queue: Store = Store(self.env, capacity=DATA_QUEUE_PACKETS)
+        # When the whole file fits the queue, producer puts can never
+        # block, which is what makes the train's batched feeder safe
+        # (see PacketTrain._feed_available).
+        self._batchable = (
+            sum(p.n_packets for p in plans) <= DATA_QUEUE_PACKETS
+        )
         self.env.process(
             producer(self.env, self.node, plans, data_queue),
             name=f"producer:{path}",
@@ -213,6 +222,7 @@ class HdfsClient:
             data_queue,
             plan,
             fresh=not produced and not acked_seqs,
+            batchable=self._batchable,
         )
         if train is not None:
             train.start()

@@ -51,6 +51,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..net.stats import FlowSample
 from ..sim import Environment, Event, ProcessGenerator, Store, race
+from ..sim.batch import HAVE_NUMPY, buffered_high_water, count_before
 from .protocol import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -70,6 +71,7 @@ def plan_train(
     data_queue: Store,
     plan: "BlockPlan",
     fresh: bool = True,
+    batchable: bool = False,
 ) -> Optional["PacketTrain"]:
     """Return a ready-to-start train for this block, or ``None`` to decline.
 
@@ -109,7 +111,8 @@ def plan_train(
             if other is not receiver:
                 return None  # foreign stream on a hop datanode
     train = PacketTrain(
-        deployment, client_node, handle, responder, data_queue, plan
+        deployment, client_node, handle, responder, data_queue, plan,
+        batchable=batchable,
     )
     for channel in train.channels:
         if channel._guard is not None:
@@ -128,6 +131,7 @@ class PacketTrain:
         responder: "PacketResponder",
         data_queue: Store,
         plan: "BlockPlan",
+        batchable: bool = False,
     ):
         self.env: Environment = deployment.env
         self.deployment = deployment
@@ -202,6 +206,15 @@ class PacketTrain:
         self._ledger: dict = {}
         self._old: Optional[tuple] = None  # previous arrays during replay
         self._freeze_before = 0.0
+
+        batch_knob = deployment.config.hdfs.batch_completions == 1
+        #: Batched feeder: consume every already-produced chunk in one
+        #: synchronous pass with analytic get times.  Only safe when the
+        #: caller proved the whole file fits the data queue (puts can
+        #: never block, so early gets wake nobody).
+        self._batch_feed = bool(batchable) and batch_knob
+        #: Vectorized replay prefix / settle counters (numpy, bit-exact).
+        self._vector = batch_knob and HAVE_NUMPY
 
         self._flag: Event = self.env.event()
         self._guarded: set = set()  # channel ids still holding our guard
@@ -389,6 +402,13 @@ class PacketTrain:
                     ready = self._u[h + 1][k]
             self._u[h].append(ready + self._C)
 
+    def _seed_ledger(self, channel, issues: list, ends: list) -> None:
+        """Install a copied frozen prefix as a channel's replay ledger."""
+        key = id(channel)
+        self._ledger[key] = (issues[:], ends[:])
+        if ends and ends[-1] > self._chan_busy[key]:
+            self._chan_busy[key] = ends[-1]
+
     def _replay(self) -> None:
         """Frozen-prefix recompute at ``now`` with current rates/floors."""
         rows = len(self._g)
@@ -396,7 +416,8 @@ class PacketTrain:
         # _old layout: [0]=issues(p), [1]=egress ends, [2]=ingress ends,
         # [3]=disk issues(a), [4]=disk ends(w) — see _extend's frozen path.
         self._old = (self._p, self._ee, self._ie, self._a, self._w)
-        self._freeze_before = self.env.now
+        old_u, old_rel = self._u, self._rel
+        frozen_T = self._freeze_before = self.env.now
         self._p = [[] for _ in range(H)]
         self._ee = [[] for _ in range(H)]
         self._ie = [[] for _ in range(H)]
@@ -407,7 +428,43 @@ class PacketTrain:
         self._snapshot_rates()
         self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
         self._ledger = {id(ch): ([], []) for ch in self.channels}
-        for k in range(rows):
+
+        # Vectorized batch path: a row whose *last* quote issue — the tail
+        # hop's disk issue ``a[H-1][k]``, the maximum issue in the row — is
+        # already frozen takes the ``_keep`` branch for every quote, so its
+        # replayed values are verbatim copies.  Find that fully-frozen row
+        # prefix with one searchsorted over the monotone arrival column and
+        # copy it wholesale (timeline rows, per-channel ledgers, busy
+        # floors) instead of re-walking it quote by quote.  Requires
+        # role-unique channels (guaranteed by the planner's host checks;
+        # verified cheaply here) so each ledger maps to exactly one column
+        # pair.  Bit-identical by construction: copies of frozen values.
+        cutoff = 0
+        if self._vector and rows and len(self.channels) == 3 * H:
+            cutoff = count_before(self._old[3][H - 1], frozen_T)
+            if cutoff:
+                for h in range(H):
+                    self._p[h] = self._old[0][h][:cutoff]
+                    self._ee[h] = self._old[1][h][:cutoff]
+                    self._ie[h] = self._old[2][h][:cutoff]
+                    self._a[h] = self._old[3][h][:cutoff]
+                    self._w[h] = self._old[4][h][:cutoff]
+                    self._u[h] = old_u[h][:cutoff]
+                    self._rel[h] = old_rel[h][:cutoff]
+                for h in range(H):
+                    self._seed_ledger(self._egress[h], self._p[h], self._ee[h])
+                    self._seed_ledger(self._ingress[h], self._p[h], self._ie[h])
+                    self._seed_ledger(self._disk_ch[h], self._a[h], self._w[h])
+
+        batch_feed = self._batch_feed
+        for k in range(cutoff, rows):
+            if batch_feed and k and self._g[k] > frozen_T:
+                # This get has not been issued yet in the scalar world
+                # (its analytic time lies past the invalidation): re-derive
+                # it against the replayed plan, exactly as the scalar
+                # conductor would re-issue it after waking here.
+                issue = self._a[0][k - 1]
+                self._g[k] = issue if issue > frozen_T else frozen_T
             self._extend(k)
         self._old = None
         if self._milestones:
@@ -420,11 +477,44 @@ class PacketTrain:
             self._replay()
 
     # -- the conductor -----------------------------------------------------
+    def _feed_available(self, k: int) -> int:
+        """Batch feeder: consume the already-produced chunk prefix now.
+
+        Every chunk sitting in the data queue at this wake is consumed in
+        one synchronous pass (a get on a non-empty store resolves without
+        touching the heap) with its *analytic* legacy get time recorded:
+        ``max(now, a[0][k-1])`` — the instant the scalar conductor's get
+        would have resolved, since the chunk is provably available by
+        then.  No producer put can be blocked (the ``batchable`` gate
+        guarantees the file fits the queue), so the early gets are
+        observationally silent; invalidations cannot fire mid-pass
+        because no simulated time passes and no events dispatch.
+        """
+        K = self._K
+        items = self.data_queue._items
+        now = self.env.now
+        a0 = self._a[0]
+        while k < K and items:
+            issue = now if k == 0 else a0[k - 1]
+            get_ev = self.data_queue.get()
+            assert get_ev.triggered  # non-empty store: synchronous get
+            chunk = get_ev.value
+            assert chunk.seq == k and chunk.size == self._sizes[k]
+            self.chunks.append(chunk)
+            self._g.append(issue if issue > now else now)
+            self._extend(k)
+            k += 1
+        return k
+
     def _conduct(self) -> ProcessGenerator:
         env = self.env
         K = self._K
         k = 0
         while k < K:
+            if self._batch_feed:
+                k = self._feed_available(k)
+                if k >= K:
+                    break
             # Sleep to the legacy get-issue time (completion of the
             # previous packet's first-hop send); a replay may move it.
             while True:
@@ -567,12 +657,15 @@ class PacketTrain:
             rel = self._rel[h]
             rows = len(self._p[h]) if upto_rows is None else upto_rows[h]
             high = receiver.max_buffered
-            for k in range(rows):
-                occ = k + 1 - bisect_left(rel, self._p[h][k])
-                if occ > cap:
-                    occ = cap
-                if occ > high:
-                    high = occ
+            if self._vector:
+                high = buffered_high_water(self._p[h], rel, cap, rows, high)
+            else:
+                for k in range(rows):
+                    occ = k + 1 - bisect_left(rel, self._p[h][k])
+                    if occ > cap:
+                        occ = cap
+                    if occ > high:
+                        high = occ
             receiver.max_buffered = high
 
     def _settle_success(self) -> None:
@@ -611,19 +704,29 @@ class PacketTrain:
         computed = len(self._g)
         # Strictly-before semantics: an action scheduled at exactly the
         # failure instant would race the kill in legacy; ties are
-        # measure-zero and the conservative reading drops them.
-        arrived = [
-            sum(1 for k in range(min(computed, len(self._a[h])))
-                if self._a[h][k] < now)
-            for h in range(H)
-        ]
+        # measure-zero and the conservative reading drops them.  The
+        # per-hop timeline columns are nondecreasing (FIFO chains), so
+        # the vectorized path takes one searchsorted per column instead
+        # of a Python scan; both give the strictly-before prefix length.
+        if self._vector:
+            arrived = [
+                min(count_before(self._a[h], now), computed, len(self._a[h]))
+                for h in range(H)
+            ]
+            granted = [count_before(self._p[h], now) for h in range(H)]
+        else:
+            arrived = [
+                sum(1 for k in range(min(computed, len(self._a[h])))
+                    if self._a[h][k] < now)
+                for h in range(H)
+            ]
+            granted = [
+                sum(1 for k in range(len(self._p[h])) if self._p[h][k] < now)
+                for h in range(H)
+            ]
         self._apply_counters(arrived, arrived)
         for h, receiver in enumerate(self.receivers):
             receiver._bytes_received = sum(self._sizes[: arrived[h]])
-        granted = [
-            sum(1 for k in range(len(self._p[h])) if self._p[h][k] < now)
-            for h in range(H)
-        ]
         self._apply_max_buffered(granted)
         self.sent_count = arrived[0]
         for channel in self.channels:
@@ -631,7 +734,12 @@ class PacketTrain:
                 self._materialize(channel)
         self._detach()
         responder = self.responder
-        acked = sum(1 for k in range(len(self._u[0])) if self._u[0][k] < now)
+        if self._vector:
+            acked = count_before(self._u[0], now)
+        else:
+            acked = sum(
+                1 for k in range(len(self._u[0])) if self._u[0][k] < now
+            )
         responder.acked_count += acked
         responder.acked_bytes += sum(self._sizes[:acked])
         for k in range(acked, arrived[0]):

@@ -12,9 +12,14 @@ pipelines keep it busy.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Iterable
+
 from ..sim import Channel, Environment, ProcessGenerator
 
-__all__ = ["NIC"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
+
+__all__ = ["NIC", "aggregate_counters"]
 
 
 class NIC:
@@ -47,6 +52,12 @@ class NIC:
         self.bytes_sent = 0
         self.bytes_received = 0
 
+    @property
+    def busy_until(self) -> float:
+        """Time this NIC next falls fully idle (max over both channels)."""
+        tx, rx = self.egress.busy_until, self.ingress.busy_until
+        return tx if tx > rx else rx
+
     def occupy_egress(self, size: int, rate: float) -> ProcessGenerator:
         """Hold the transmit channel for ``size / rate`` seconds.
 
@@ -67,3 +78,17 @@ class NIC:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<NIC {self.name} rate={self.rate:.0f} B/s>"
+
+
+def aggregate_counters(nodes: "Iterable[Node]") -> tuple[int, int]:
+    """Sum ``(bytes_sent, bytes_received)`` over every node's NIC.
+
+    Campaign benchmarks report aggregate bytes moved; the counters are
+    committed at occupancy-quote time, so a mid-run read includes bytes
+    whose quoted completion lies in the future.
+    """
+    sent = received = 0
+    for node in nodes:
+        sent += node.nic.bytes_sent
+        received += node.nic.bytes_received
+    return sent, received

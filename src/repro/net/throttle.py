@@ -16,7 +16,7 @@ and every matching rule, exactly how nested ``tc htb`` classes compose.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.node import Node
@@ -145,6 +145,20 @@ class ThrottleTable:
             if rule.applies(src, dst):
                 rate = min(rate, rule.rate)
         return rate
+
+    def effective_rates(
+        self, pairs: "Sequence[tuple[Node, Node]]"
+    ) -> list[float]:
+        """Batch form of :meth:`effective_rate` over a whole flow set.
+
+        Delegates to the vectorized batch kernel
+        (:func:`repro.sim.batch.effective_rates`): one mask per rule over
+        flat endpoint arrays instead of ``len(pairs) * len(rules)``
+        predicate calls, bit-identical to the scalar loop.
+        """
+        from ..sim.batch import effective_rates
+
+        return effective_rates(self, pairs)
 
     def __len__(self) -> int:
         return len(self._rules)

@@ -48,6 +48,10 @@ class Network:
         self.stats = FlowStats(keep_samples=self.config.keep_flow_samples)
         #: Channels holding preemptible reservations (requote mode only).
         self._preemptible_channels: set = set()
+        #: Requote-hook telemetry: channels walked vs skipped because the
+        #: rule change left every live flow's effective rate unchanged.
+        self.requotes_applied = 0
+        self.requotes_skipped = 0
         if self.config.requote_in_flight:
             self.throttles.subscribe(self._requote_in_flight)
 
@@ -141,12 +145,42 @@ class Network:
         return done_event, finish
 
     def _requote_in_flight(self, _table: ThrottleTable) -> None:
-        """Preemption hook: throttle rules changed, re-quote live flows."""
+        """Preemption hook: throttle rules changed, re-quote live flows.
+
+        Every distinct live (src, dst) pair's new shaped rate is computed
+        exactly once, in one vectorized pass
+        (:meth:`~repro.net.throttle.ThrottleTable.effective_rates`), and a
+        channel whose in-flight reservations are all unaffected by the
+        change is skipped outright — a no-op :meth:`Channel.preempt`
+        would still walk the FIFO and re-derive every quote (and could
+        nudge a mid-transmission quote by an ulp re-splitting the bytes
+        at an unchanged rate).
+        """
         stale = []
+        pending = []
+        pairs: list = []
+        seen: set = set()
         for channel in self._preemptible_channels:
-            channel.preempt(
-                lambda res: self.effective_rate(*res.tag) if res.tag else None
-            )
+            if not channel.has_in_flight:
+                stale.append(channel)
+                continue
+            flows = [
+                res
+                for res in channel._in_flight
+                if not res.triggered and res.tag is not None
+            ]
+            for res in flows:
+                if res.tag not in seen:
+                    seen.add(res.tag)
+                    pairs.append(res.tag)
+            pending.append((channel, flows))
+        rate_of = dict(zip(pairs, self.throttles.effective_rates(pairs)))
+        for channel, flows in pending:
+            if all(rate_of[res.tag] == res.rate for res in flows):
+                self.requotes_skipped += 1
+                continue
+            self.requotes_applied += 1
+            channel.preempt(lambda res: rate_of.get(res.tag))
             if not channel.has_in_flight:
                 stale.append(channel)
         self._preemptible_channels.difference_update(stale)

@@ -226,6 +226,10 @@ _ENV_HEALTH_KEYS = (
     "heap_high_water",
     "inter_shard_messages",
     "window_barriers",
+    "window_events",
+    "window_batch_max",
+    "window_batch_mean",
+    "window_workers",
     "shard_imbalance",
 )
 
@@ -237,8 +241,10 @@ def publish_env_health(env, metrics: MetricsRegistry) -> None:
     ``tombstones_skipped``, ``compactions_run``, ``heap_high_water``);
     a :class:`~repro.sim.ShardedEnvironment` additionally publishes
     ``sim.env.shard<k>.events`` per shard plus the inter-shard message
-    and window-barrier totals, so shard imbalance shows up directly in
-    metrics summaries and trace exports.
+    and window-barrier totals and the windowed-execution gauges
+    (``window_events``, ``window_batch_max``, ``window_batch_mean``,
+    ``window_workers``), so shard imbalance and barrier batch shape
+    show up directly in metrics summaries and trace exports.
     """
     if not metrics.enabled:
         return

@@ -40,7 +40,11 @@ executor for fully partitioned workloads (independent pods, lookahead
 from __future__ import annotations
 
 import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
+from dataclasses import dataclass, field
+from itertools import count
 from typing import Any, Iterator, Optional
 
 from .environment import NORMAL, Environment
@@ -50,6 +54,22 @@ from .events import Event
 __all__ = ["ShardedEnvironment", "CausalityError", "lookahead_from_config"]
 
 _INF = float("inf")
+
+
+@dataclass
+class _WindowResult:
+    """One shard's bookkeeping from draining one window on a worker."""
+
+    shard: int
+    dispatched: int = 0
+    skipped: int = 0
+    pushed: int = 0
+    cancelled: int = 0
+    inter_shard: int = 0
+    high_water: int = 0
+    final_now: float = 0.0
+    #: Cross-shard events deferred to the barrier: (when, priority, event).
+    outbox: list = field(default_factory=list)
 
 
 class CausalityError(RuntimeError):
@@ -82,6 +102,11 @@ class ShardedEnvironment(Environment):
     operationally identical to the single-heap environment.
     """
 
+    #: Class-level default so the clock/shard/active-process property
+    #: setters route to the sequential backing fields while the base
+    #: ``__init__`` runs (before ``_tls`` exists).
+    _threaded = False
+
     def __init__(
         self,
         shards: int = 2,
@@ -94,6 +119,10 @@ class ShardedEnvironment(Environment):
             raise ValueError(f"lookahead must be >= 0, got {lookahead}")
         super().__init__(initial_time)
         self._shards = shards
+        #: Thread-local (now, shard, active process, eid counter, outbox)
+        #: for workers draining windows concurrently; see
+        #: :meth:`run_windows`.
+        self._tls = threading.local()
         self._heaps: list[list[tuple[float, int, int, Event]]] = [
             [] for _ in range(shards)
         ]
@@ -109,9 +138,62 @@ class ShardedEnvironment(Environment):
         self.inter_shard_messages = 0
         #: Window barriers crossed by :meth:`run_windows`.
         self.window_barriers = 0
+        #: Events dispatched inside windows (all of :meth:`run_windows`).
+        self.window_events = 0
+        #: Largest single-window event cohort seen so far.
+        self.window_batch_max = 0
+        #: Highest worker count any :meth:`run_windows` call ran with.
+        self.window_workers = 0
         self._shard_events = [0] * shards
         self._shard_scheduled = [0] * shards
         self._shard_high_water = [0] * shards
+
+    # -- thread-routed execution context -----------------------------------
+    # The clock, the executing shard and the active process are *execution
+    # context*, not global state: inside a threaded window each worker
+    # drains its shards on a private local clock (exactly the shard-local
+    # ``now`` the sequential windowed loop models one shard at a time).
+    # Data properties shadow the base class's instance attributes, so every
+    # inherited read/write (``schedule``, ``timeout_at``, ``Process.step``,
+    # ``Event.__init__``) routes here without touching the base class.
+    @property
+    def _now(self) -> float:
+        if self._threaded:
+            return self._tls.now
+        return self._clock
+
+    @_now.setter
+    def _now(self, value: float) -> None:
+        if self._threaded:
+            self._tls.now = value
+        else:
+            self._clock = value
+
+    @property
+    def _current_shard(self) -> int:
+        if self._threaded:
+            return self._tls.shard
+        return self._shard_ctx
+
+    @_current_shard.setter
+    def _current_shard(self, value: int) -> None:
+        if self._threaded:
+            self._tls.shard = value
+        else:
+            self._shard_ctx = value
+
+    @property
+    def _active_process(self):
+        if self._threaded:
+            return self._tls.active
+        return self._active
+
+    @_active_process.setter
+    def _active_process(self, value) -> None:
+        if self._threaded:
+            self._tls.active = value
+        else:
+            self._active = value
 
     # -- introspection -----------------------------------------------------
     @property
@@ -158,11 +240,20 @@ class ShardedEnvironment(Environment):
         events = self._shard_events
         busiest = max(events) if events else 0
         mean = sum(events) / len(events) if events else 0.0
+        barriers = self.window_barriers
         health.update(
             {
                 "shards": self._shards,
                 "inter_shard_messages": self.inter_shard_messages,
-                "window_barriers": self.window_barriers,
+                "window_barriers": barriers,
+                "window_events": self.window_events,
+                "window_batch_max": self.window_batch_max,
+                # Mean events per window — the batch-size knob the
+                # campaign benchmark records alongside worker count.
+                "window_batch_mean": (
+                    self.window_events / barriers if barriers else 0.0
+                ),
+                "window_workers": self.window_workers,
                 "shard_events": list(events),
                 # >1.0 means uneven shards; 1.0 is a perfect split.
                 "shard_imbalance": (busiest / mean) if mean else 0.0,
@@ -179,6 +270,9 @@ class ShardedEnvironment(Environment):
                 "shards": self._shards,
                 "inter_shard_messages": self.inter_shard_messages,
                 "window_barriers": self.window_barriers,
+                "window_events": self.window_events,
+                "window_batch_max": self.window_batch_max,
+                "window_workers": self.window_workers,
                 "shard_events": list(self._shard_events),
                 "shard_scheduled": list(self._shard_scheduled),
                 "shard_high_water": list(self._shard_high_water),
@@ -197,6 +291,10 @@ class ShardedEnvironment(Environment):
         super().restore_clock(state)
         self.inter_shard_messages = state["inter_shard_messages"]
         self.window_barriers = state["window_barriers"]
+        # Window batch counters postdate the snapshot format; default 0.
+        self.window_events = state.get("window_events", 0)
+        self.window_batch_max = state.get("window_batch_max", 0)
+        self.window_workers = state.get("window_workers", 0)
         self._shard_events = list(state["shard_events"])
         self._shard_scheduled = list(state["shard_scheduled"])
         self._shard_high_water = list(state["shard_high_water"])
@@ -223,6 +321,9 @@ class ShardedEnvironment(Environment):
 
     # -- scheduling --------------------------------------------------------
     def _push(self, event: Event, when: float, priority: int) -> None:
+        if self._threaded:
+            self._push_threaded(event, when, priority)
+            return
         shard = event._shard
         if shard != self._current_shard:
             self.inter_shard_messages += 1
@@ -256,7 +357,43 @@ class ShardedEnvironment(Environment):
             )
         self._push(event, when, priority)
 
+    def _push_threaded(self, event: Event, when: float, priority: int) -> None:
+        """Worker-side scheduling during a threaded window.
+
+        Same-shard events go straight onto the worker's own heap with an
+        eid from the shard's private stride-``shards`` counter (disjoint
+        across shards, so entries stay totally ordered; within one shard
+        the relative order matches the sequential drain exactly).
+        Cross-shard events are deferred to the window barrier via the
+        shard's outbox — another worker may be mid-pop on the target heap
+        — after the same causality check the sequential path applies.
+        """
+        tls = self._tls
+        shard = event._shard
+        if shard != tls.shard:
+            tls.result.inter_shard += 1
+            window_end = self._window_end
+            if window_end is not None and when < window_end:
+                raise CausalityError(
+                    f"cross-shard event at t={when} targets shard {shard} "
+                    f"inside the executing window ending at {window_end}; "
+                    "lookahead exceeds the real cross-shard latency"
+                )
+            tls.result.outbox.append((when, priority, event))
+            return
+        heap = self._heaps[shard]
+        heapq.heappush(heap, (when, priority, next(tls.eid), event))
+        tls.result.pushed += 1
+        if len(heap) > tls.result.high_water:
+            tls.result.high_water = len(heap)
+
     def _note_cancelled(self) -> None:
+        if self._threaded:
+            # Deferred: tombstone accounting merges at the barrier and
+            # compaction (which walks every shard heap) runs only on the
+            # coordinating thread between windows.
+            self._tls.result.cancelled += 1
+            return
         self._tombstones += 1
         if (
             self._tombstones >= self.COMPACT_MIN_TOMBSTONES
@@ -312,7 +449,9 @@ class ShardedEnvironment(Environment):
         self._dispatch(event)
 
     # -- conservative time-window execution --------------------------------
-    def run_windows(self, until: Optional[float] = None) -> None:
+    def run_windows(
+        self, until: Optional[float] = None, workers: Optional[int] = None
+    ) -> None:
         """Advance the simulation in conservative lookahead windows.
 
         Each barrier opens the window ``[LBTS, LBTS + lookahead)`` and
@@ -323,6 +462,17 @@ class ShardedEnvironment(Environment):
         worker processes.  Requires a positive ``lookahead``; a
         cross-shard message into the open window raises
         :class:`CausalityError`.
+
+        ``workers=N`` (N > 1) drains the window's shards on a thread
+        pool — the barrier is the only synchronization point.  Each
+        worker runs its shards on a thread-local clock, schedules onto
+        its own heaps with per-shard eid strides, and defers cross-shard
+        events to the barrier; counters merge there in shard order, so
+        a threaded run is deterministic and repeat-stable for any worker
+        count.  ``workers=None`` or ``1`` keeps the sequential path
+        bit-for-bit.  (CPython with the GIL serializes the drains, so
+        threads only pay off on free-threaded builds; the structure —
+        and its determinism — is what the equivalence suite pins.)
         """
         if self.lookahead <= 0:
             raise ValueError(
@@ -334,6 +484,15 @@ class ShardedEnvironment(Environment):
             raise ValueError(
                 f"until ({limit}) must not lie in the past (now={self._now})"
             )
+        n_workers = 1 if workers is None else int(workers)
+        if n_workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        n_workers = min(n_workers, self._shards)
+        if n_workers > self.window_workers:
+            self.window_workers = n_workers
+        if n_workers > 1:
+            self._run_windows_threaded(limit, n_workers)
+            return
 
         latest = self._now
         while True:
@@ -345,6 +504,7 @@ class ShardedEnvironment(Environment):
             window_end = lbts + self.lookahead
             self.window_barriers += 1
             self._window_end = window_end
+            cohort = 0
             try:
                 for index in range(self._shards):
                     heap = self._heaps[index]
@@ -364,10 +524,181 @@ class ShardedEnvironment(Environment):
                         self._entries -= 1
                         self._now = when
                         self._shard_events[index] += 1
+                        cohort += 1
                         self._dispatch(event)
                     if self._now > latest:
                         latest = self._now
             finally:
                 self._window_end = None
+            self.window_events += cohort
+            if cohort > self.window_batch_max:
+                self.window_batch_max = cohort
 
         self._now = limit if limit is not None else latest
+
+    def _run_windows_threaded(self, limit: Optional[float], workers: int) -> None:
+        """Windowed loop with per-window thread-pool shard drains."""
+        latest = self._clock
+        executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard-window"
+        )
+        try:
+            while True:
+                lbts = self.peek()
+                if lbts == _INF:
+                    break
+                if limit is not None and lbts > limit:
+                    break
+                window_end = lbts + self.lookahead
+                self.window_barriers += 1
+                self._window_end = window_end
+                # Next value of the shared eid counter, captured without
+                # consuming one; shard k draws eid_base + k, +shards, ...
+                eid_base = self._eid.__reduce__()[1][0]
+                groups = [
+                    list(range(start, self._shards, workers))
+                    for start in range(workers)
+                ]
+                self._threaded = True
+                results: list[_WindowResult] = []
+                errors: list[BaseException] = []
+                try:
+                    futures = [
+                        executor.submit(
+                            self._drain_group,
+                            group, lbts, window_end, limit, eid_base,
+                        )
+                        for group in groups
+                        if group
+                    ]
+                    # result() waits even on failure, so after this loop
+                    # every worker has stopped — only then is it safe to
+                    # leave threaded mode (workers route scheduling
+                    # through the TLS path while the flag is up).
+                    for future in futures:
+                        try:
+                            results.extend(future.result())
+                        except BaseException as exc:
+                            errors.append(exc)
+                finally:
+                    self._threaded = False
+                    self._window_end = None
+                if errors:
+                    raise errors[0]
+                latest = self._merge_window(results, eid_base, latest)
+        finally:
+            executor.shutdown(wait=True)
+        self._clock = limit if limit is not None else latest
+
+    def _drain_group(
+        self,
+        group: list[int],
+        lbts: float,
+        window_end: float,
+        limit: Optional[float],
+        eid_base: int,
+    ) -> list[_WindowResult]:
+        """Worker entry point: drain each assigned shard inside the window.
+
+        Runs entirely on thread-local execution context; all shared
+        counters accumulate in the returned :class:`_WindowResult` per
+        shard and merge at the barrier.
+        """
+        tls = self._tls
+        shards = self._shards
+        results = []
+        for index in group:
+            result = _WindowResult(
+                shard=index, high_water=self._shard_high_water[index]
+            )
+            tls.result = result
+            tls.shard = index
+            tls.now = lbts
+            tls.active = None
+            tls.eid = count(eid_base + index, shards)
+            heap = self._heaps[index]
+            while True:
+                while heap and heap[0][3]._cancelled:
+                    heapq.heappop(heap)
+                    result.skipped += 1
+                if not heap or heap[0][0] >= window_end:
+                    break
+                if limit is not None and heap[0][0] > limit:
+                    break
+                when, _, _, event = heapq.heappop(heap)
+                tls.now = when
+                result.dispatched += 1
+                self._dispatch_threaded(event)
+            result.final_now = tls.now
+            results.append(result)
+        return results
+
+    def _dispatch_threaded(self, event: Event) -> None:
+        """One event's callbacks on a worker — no shared-counter writes.
+
+        The base :meth:`Environment._dispatch` body minus the process-wide
+        and per-environment event counters, which merge at the barrier.
+        """
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc if isinstance(exc, BaseException) else RuntimeError(exc)
+
+    def _merge_window(
+        self, results: list[_WindowResult], eid_base: int, latest: float
+    ) -> float:
+        """Barrier bookkeeping: fold worker results back into shared state.
+
+        Results merge in shard index order and the deferred cross-shard
+        events land in (source shard, local append order) — both fixed —
+        so the merged state is identical for any worker count.
+        """
+        from . import environment as _env_mod
+
+        results.sort(key=lambda result: result.shard)
+        total = 0
+        max_pushed = 0
+        for r in results:
+            total += r.dispatched
+            self._shard_events[r.shard] += r.dispatched
+            self._shard_scheduled[r.shard] += r.pushed
+            if r.high_water > self._shard_high_water[r.shard]:
+                self._shard_high_water[r.shard] = r.high_water
+            self._entries += r.pushed - (r.dispatched + r.skipped)
+            self.tombstones_skipped += r.skipped
+            self._tombstones += r.cancelled - r.skipped
+            self.inter_shard_messages += r.inter_shard
+            if r.pushed > max_pushed:
+                max_pushed = r.pushed
+            if r.final_now > latest:
+                latest = r.final_now
+        self.events_processed += total
+        _env_mod._TOTAL_EVENTS += total
+        self.window_events += total
+        if total > self.window_batch_max:
+            self.window_batch_max = total
+        # Advance the shared counter past every eid the stride counters
+        # drew, then land the deferred cross-shard events.
+        self._eid = count(eid_base + self._shards * (max_pushed + 1))
+        for r in results:
+            for when, priority, event in r.outbox:
+                target = event._shard
+                heap = self._heaps[target]
+                heapq.heappush(heap, (when, priority, next(self._eid), event))
+                self._entries += 1
+                self._shard_scheduled[target] += 1
+                if len(heap) > self._shard_high_water[target]:
+                    self._shard_high_water[target] = len(heap)
+        if self._entries > self.heap_high_water:
+            self.heap_high_water = self._entries
+        # Deferred compaction: tombstones accumulated by the workers are
+        # collected here, on the coordinating thread, between windows.
+        if (
+            self._tombstones >= self.COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= self._entries
+        ):
+            self._compact()
+        return latest

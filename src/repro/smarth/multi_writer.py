@@ -49,6 +49,9 @@ class SmarthClient:
     """Multi-pipeline write client implementing the SMARTH protocol."""
 
     system = "smarth"
+    #: Whether the current upload's file fits the data queue (set per
+    #: put); gates the train's batched feeder.
+    _batchable = False
 
     def __init__(
         self,
@@ -124,6 +127,11 @@ class SmarthClient:
 
         plans = plan_file(size, hdfs_cfg)
         data_queue: Store = Store(env, capacity=DATA_QUEUE_PACKETS)
+        # Producer puts can never block when the whole file fits the
+        # queue — the safety gate for the train's batched feeder.
+        self._batchable = (
+            sum(p.n_packets for p in plans) <= DATA_QUEUE_PACKETS
+        )
         env.process(
             producer(env, self.node, plans, data_queue), name=f"producer:{path}"
         )
@@ -335,6 +343,7 @@ class SmarthClient:
                 pipeline.responder,
                 data_queue,
                 pipeline.plan,
+                batchable=self._batchable,
             )
             if train is not None:
                 return (

@@ -6,6 +6,7 @@ from .sharded import (
     PodPlan,
     PodRunOutcome,
     PodSpec,
+    campaign10k,
     run_pods_sharded,
     run_pods_single_env,
 )
@@ -25,6 +26,7 @@ __all__ = [
     "PodSpec",
     "PodPlan",
     "PodRunOutcome",
+    "campaign10k",
     "run_pods_single_env",
     "run_pods_sharded",
     "sweep",

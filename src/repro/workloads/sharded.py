@@ -29,16 +29,27 @@ from typing import Optional
 
 from ..config import SimulationConfig
 from ..hdfs.deployment import HdfsDeployment
+from ..net.nic import aggregate_counters
 from ..pool import map_named
 from ..sim import Environment, ProcessGenerator, ShardedEnvironment
 from ..smarth.deployment import SmarthDeployment
+from ..units import MB
 from .scenarios import two_rack
 
-__all__ = ["PodSpec", "PodPlan", "PodRunOutcome", "run_pods_single_env", "run_pods_sharded"]
+__all__ = [
+    "PodSpec",
+    "PodPlan",
+    "PodRunOutcome",
+    "campaign10k",
+    "run_pods_single_env",
+    "run_pods_sharded",
+]
 
 #: (pod index, client index) → it sorts, so merged timelines have one
 #: canonical order regardless of executor.
 ClientKey = tuple[int, int]
+
+_INF = float("inf")
 
 
 @dataclass(frozen=True)
@@ -134,12 +145,40 @@ class PodRunOutcome:
     health: Optional[dict] = None
     #: Events per worker shard (process executor only).
     shard_events: Optional[list[int]] = None
+    #: Aggregate NIC ``(bytes_sent, bytes_received)`` over every host
+    #: (single-env modes only).
+    bytes_moved: Optional[tuple[int, int]] = None
 
     @property
     def makespan(self) -> float:
         starts = [start for _key, start, _end in self.timeline]
         ends = [end for _key, _start, end in self.timeline]
         return (max(ends) - min(starts)) if self.timeline else 0.0
+
+
+def campaign10k(scale: float = 1.0) -> PodPlan:
+    """The 10k-client ingestion campaign: 100 pods of 100 clients x 10
+    datanodes (10,000 clients, 1,000 datanodes at full scale).
+
+    Pod shape is tuned for the analytic fast paths the campaign
+    benchmark measures: 4 MB files (one 64-packet block, inside the
+    data-queue bound so the train's batched feeder engages) and a 0.5 s
+    client stagger (uploads within a pod barely overlap, so the
+    coalesced packet-train path conducts nearly every block).  ``scale``
+    shrinks the campaign by dropping pods — the per-pod shape, and
+    therefore per-client timing, is invariant — e.g. ``scale=0.02`` is
+    the 2-pod CI smoke shape.
+    """
+    if scale <= 0:
+        raise ValueError(f"scale must be positive, got {scale}")
+    n_pods = max(1, round(100 * scale))
+    return PodPlan.regular(
+        n_pods,
+        clients_per_pod=100,
+        datanodes_per_pod=10,
+        file_bytes=4 * MB,
+        stagger=0.5,
+    )
 
 
 def _deployment(system: str, cluster):
@@ -199,6 +238,9 @@ def run_pods_single_env(
     system: str = "smarth",
     config: Optional[SimulationConfig] = None,
     shards: Optional[int] = None,
+    windowed: bool = False,
+    workers: Optional[int] = None,
+    window: float = 5.0,
 ) -> PodRunOutcome:
     """Run every pod inside one environment.
 
@@ -207,14 +249,26 @@ def run_pods_single_env(
     an in-process :class:`ShardedEnvironment` with pod *i* pinned to
     shard ``i % k`` — bit-identical by the deterministic merge, with
     per-shard load visible in the outcome's ``health``.
+
+    ``windowed=True`` (requires ``shards``) executes with
+    :meth:`~repro.sim.ShardedEnvironment.run_windows` at infinite
+    lookahead — pods share nothing, so the whole run is one conservative
+    window — in chunks of ``window`` simulated seconds (periodic model
+    processes never let the schedule run dry, so each chunk bounds the
+    drain and the barrier checks upload completion).  ``workers=N``
+    drains each chunk's shards on a thread pool.
     """
     config = config or SimulationConfig()
     if shards is None:
+        if windowed or workers:
+            raise ValueError("windowed/workers execution requires shards")
         env: Environment = Environment()
         executor = "single"
     else:
-        env = ShardedEnvironment(shards=shards)
-        executor = "sharded-inproc"
+        env = ShardedEnvironment(
+            shards=shards, lookahead=_INF if windowed else 0.0
+        )
+        executor = "sharded-windowed" if windowed else "sharded-inproc"
 
     results: dict[ClientKey, tuple[float, float]] = {}
     all_procs = []
@@ -228,7 +282,13 @@ def run_pods_single_env(
         all_procs.extend(procs)
         deployments.append(deployment)
 
-    _finish(env, all_procs)
+    if windowed:
+        assert isinstance(env, ShardedEnvironment)
+        while not all(proc.triggered for proc in all_procs):
+            env.run_windows(until=env.now + window, workers=workers)
+        env.run(until=env.now + 1.0)  # trailing blockReceived reports
+    else:
+        _finish(env, all_procs)
     replicated = all(
         _replicated(deployment, pod)
         for deployment, pod in zip(deployments, plan.pods)
@@ -242,6 +302,11 @@ def run_pods_single_env(
         fully_replicated=replicated,
         executor=executor,
         health=env.health(),
+        bytes_moved=aggregate_counters(
+            host
+            for deployment in deployments
+            for host in deployment.cluster.all_hosts
+        ),
     )
 
 

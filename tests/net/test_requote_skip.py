@@ -1,0 +1,139 @@
+"""Regression: throttle changes that leave a flow's effective rate
+unchanged must not re-quote that flow's channels.
+
+``Network._requote_in_flight`` computes every live pair's new rate in one
+batch pass and skips channels whose flows are all unaffected — a no-op
+``Channel.preempt`` would walk the FIFO and could nudge a
+mid-transmission quote by an ulp re-splitting the bytes at an unchanged
+rate.  These tests pin the skip (via the ``requotes_skipped`` counter),
+the untouched flow's bit-exact completion quote, and the still-working
+re-quote for the flow the rule *does* hit.
+"""
+
+import pytest
+
+from repro.cluster.instance import InstanceType
+from repro.cluster.node import Node
+from repro.config import NetworkConfig
+from repro.net import Network, NodeThrottle, Topology
+from repro.sim import Environment
+from repro.units import MB, mbps
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+def make_quad(env):
+    """Four nodes, two disjoint flows (a->b, c->d), requote mode on."""
+    itype = InstanceType("t", 1, 1, mbps(100), mbps(10000), mbps(10000))
+    topo = Topology()
+    nodes = []
+    for name in "abcd":
+        node = Node(env, name, itype, rack="rack0")
+        topo.add_host(name, "rack0")
+        nodes.append(node)
+    net = Network(env, topo, config=NetworkConfig(requote_in_flight=True))
+    return (net, *nodes)
+
+
+def test_unrelated_rule_change_skips_untouched_flow(env):
+    net, a, b, c, d = make_quad(env)
+    size = 10 * MB
+    quotes = {}
+
+    def scenario():
+        first = env.process(net.transfer(a, b, size))
+        second = env.process(net.transfer(c, d, size))
+        yield env.timeout(0.1)
+        # a->b's reservations as quoted before the rule change.
+        quotes["ab"] = [
+            (res.start, res.end, res.rate)
+            for res in a.nic.egress._in_flight + b.nic.ingress._in_flight
+        ]
+        net.throttles.add(NodeThrottle("d", mbps(10)))
+        # Bit-exact: the untouched flow's quotes did not move at all.
+        assert [
+            (res.start, res.end, res.rate)
+            for res in a.nic.egress._in_flight + b.nic.ingress._in_flight
+        ] == quotes["ab"]
+        yield first
+        quotes["ab_done"] = env.now
+        yield second
+
+    env.run(until=env.process(scenario()))
+    # a->b finished at the original 100 Mbps quote, c->d was re-quoted:
+    # 0.1s at 100 Mbps, the remaining bytes at 10 Mbps.
+    assert quotes["ab_done"] == pytest.approx(
+        size / mbps(100) + net.config.link_latency
+    )
+    sent = 0.1 * mbps(100)
+    assert env.now == pytest.approx(
+        0.1 + (size - sent) / mbps(10) + net.config.link_latency
+    )
+    # a->b's two channels were skipped, c->d's two were re-quoted.
+    assert net.requotes_skipped == 2
+    assert net.requotes_applied == 2
+
+
+def test_rule_matching_nothing_skips_every_channel(env):
+    net, a, b, c, d = make_quad(env)
+    size = 10 * MB
+
+    def scenario():
+        first = env.process(net.transfer(a, b, size))
+        second = env.process(net.transfer(c, d, size))
+        yield env.timeout(0.1)
+        net.throttles.add(NodeThrottle("nobody", mbps(1)))
+        yield first
+        yield second
+
+    env.run(until=env.process(scenario()))
+    assert net.requotes_applied == 0
+    assert net.requotes_skipped == 4
+    # Both flows finished at their original quotes.
+    assert env.now == pytest.approx(size / mbps(100) + net.config.link_latency)
+
+
+def test_matching_rule_still_requotes(env):
+    """The skip must not eat real re-quotes (mirror of the transport
+    suite's mid-flight test, driven through the batch path)."""
+    net, a, b, _c, _d = make_quad(env)
+    size = 10 * MB
+    half = (size / mbps(100)) / 2
+
+    def scenario():
+        first = env.process(net.transfer(a, b, size))
+        yield env.timeout(half)
+        net.throttles.add(NodeThrottle("b", mbps(10)))
+        yield first
+
+    env.run(until=env.process(scenario()))
+    expected = half + (size / 2) / mbps(10) + net.config.link_latency
+    assert env.now == pytest.approx(expected)
+    assert net.requotes_applied == 2
+    assert net.requotes_skipped == 0
+
+
+def test_stale_channels_pruned_after_skip(env):
+    """Channels that drained before the rule change leave the tracking
+    set even when every live channel is skipped."""
+    net, a, b, c, d = make_quad(env)
+    size = 1 * MB
+
+    def scenario():
+        first = env.process(net.transfer(a, b, size))
+        yield first
+        # a->b drained; c->d still in flight when the rule lands.
+        second = env.process(net.transfer(c, d, 10 * MB))
+        yield env.timeout(0.1)
+        net.throttles.add(NodeThrottle("nobody", mbps(1)))
+        assert a.nic.egress not in net._preemptible_channels
+        assert b.nic.ingress not in net._preemptible_channels
+        assert c.nic.egress in net._preemptible_channels
+        yield second
+
+    env.run(until=env.process(scenario()))
+    assert net.requotes_applied == 0
+    assert net.requotes_skipped == 2

@@ -269,6 +269,123 @@ class TestConservativeWindows:
         assert env.inter_shard_messages == 1
 
 
+class TestThreadedWindows:
+    """run_windows(workers=N): thread-pool shard drains, barrier-merged.
+
+    Every test pits the threaded path against the sequential windowed
+    path (workers=None), which the conservative-window suite above has
+    already pinned against the single-heap reference.
+    """
+
+    @staticmethod
+    def _partitioned(workers):
+        env = ShardedEnvironment(shards=3, lookahead=0.05)
+        log = []
+
+        def worker(env, log, tag, period):
+            for _ in range(4):
+                yield env.timeout(period)
+                log.append((tag, round(env.now, 9)))
+
+        for i in range(6):
+            with env.pinned(i % 3):
+                env.process(worker(env, log, i, 0.3 + 0.1 * i))
+        env.run_windows(workers=workers)
+        return log, env
+
+    def test_threaded_matches_sequential(self):
+        seq_log, seq_env = self._partitioned(None)
+        for workers in (2, 3):
+            log, env = self._partitioned(workers)
+            assert sorted(log) == sorted(seq_log)
+            assert env.events_processed == seq_env.events_processed
+            assert env.window_barriers == seq_env.window_barriers
+            assert env.window_events == seq_env.window_events
+
+    def test_threaded_run_twice_identical(self):
+        first_log, first_env = self._partitioned(2)
+        second_log, second_env = self._partitioned(2)
+        assert first_log == second_log
+        assert first_env.events_processed == second_env.events_processed
+        assert first_env.shard_stats() == second_env.shard_stats()
+
+    def test_workers_recorded_and_clamped(self):
+        _log, env = self._partitioned(16)  # clamped to the 3 shards
+        assert env.window_workers == 3
+        assert env.health()["window_workers"] == 3
+        assert env.window_batch_max >= 1
+        assert env.health()["window_batch_mean"] > 0
+
+    def test_invalid_workers(self):
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        with pytest.raises(ValueError, match="workers"):
+            env.run_windows(workers=0)
+
+    def test_until_pins_clock_threaded(self):
+        env = ShardedEnvironment(shards=2, lookahead=0.1)
+        fired = []
+        with env.pinned(1):
+            timer = env.timeout(1.0)
+            timer.callbacks.append(lambda ev: fired.append(env.now))
+        env.timeout(5.0)  # beyond the limit; must stay pending
+        env.run_windows(until=2.0, workers=2)
+        assert fired == [1.0]
+        assert env.now == 2.0
+        assert len(env) == 1
+
+    def test_causality_error_propagates_from_worker(self):
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        with env.pinned(1):
+            inbox = env.event()
+
+        def sender(env):
+            yield env.timeout(1.0)
+            inbox.succeed("too fast")  # lands inside the open window
+
+        env.process(sender(env))
+        with pytest.raises(CausalityError):
+            env.run_windows(workers=2)
+
+    def test_cross_shard_outbox_lands_at_barrier(self):
+        """A beyond-window cross-shard send defers to the worker's outbox
+        and lands on the target heap at the barrier."""
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        got = []
+        with env.pinned(1):
+            inbox = env.event()
+            inbox._ok = True
+            inbox._value = "mail"
+            inbox.callbacks.append(lambda ev: got.append(env.now))
+
+        def sender(env):
+            yield env.timeout(1.0)
+            env.schedule_at(inbox, env.now + 2.0)  # well past the window
+
+        env.process(sender(env))
+        env.run_windows(workers=2)
+        assert got == [3.0]
+        assert env.inter_shard_messages == 1
+
+    def test_threaded_cancellation_defers_compaction(self):
+        """Timers cancelled inside a threaded window merge into the
+        tombstone count at the barrier instead of compacting mid-drain."""
+        env = ShardedEnvironment(shards=2, lookahead=0.5)
+        doomed = []
+        for i in range(4):
+            with env.pinned(i % 2):
+                doomed.append(env.timeout(50.0 + i))
+
+        def canceller(env):
+            yield env.timeout(1.0)
+            for timer in doomed:
+                timer.cancel()
+
+        env.process(canceller(env))
+        env.run_windows(until=2.0, workers=2)
+        assert len(env) == 0  # only tombstones remain live-wise
+        assert env.peek() == float("inf")
+
+
 def test_lookahead_from_config_is_min_latency():
     config = SimulationConfig()
     assert lookahead_from_config(config) == min(

@@ -4,10 +4,11 @@ import pytest
 
 from repro.config import SimulationConfig
 from repro.pool import WorkerFailure
-from repro.units import KB
+from repro.units import KB, MB
 from repro.workloads import (
     PodPlan,
     PodSpec,
+    campaign10k,
     run_pods_single_env,
     run_pods_sharded,
 )
@@ -54,6 +55,23 @@ class TestPlan:
         ]
         with pytest.raises(ValueError):
             plan.shard_assignment(0)
+
+    def test_campaign10k_full_scale_shape(self):
+        plan = campaign10k()
+        assert len(plan.pods) == 100
+        assert plan.n_clients == 10_000
+        assert plan.n_datanodes == 1_000
+        assert plan.pods[0].file_bytes == 4 * MB
+        assert plan.pods[0].stagger == 0.5
+
+    def test_campaign10k_scale_drops_pods_not_shape(self):
+        plan = campaign10k(scale=0.02)
+        assert len(plan.pods) == 2
+        assert plan.pods[0].n_clients == 100
+        assert plan.pods[0].n_datanodes == 10
+        assert len(campaign10k(scale=0.001).pods) == 1  # floor of one pod
+        with pytest.raises(ValueError):
+            campaign10k(scale=0.0)
 
 
 class TestExecutorEquivalence:
@@ -116,6 +134,18 @@ class TestExecutorEquivalence:
                                  config=config, jobs=1)
         assert procs.timeline == baseline.timeline
 
+    def test_bytes_moved_accounts_for_replication(self):
+        """Single-env outcomes report aggregate NIC bytes; every byte
+        sent lands somewhere, and replication moves each file at least
+        ``replication`` times."""
+        plan = small_plan(n_pods=2)
+        config = small_config()
+        outcome = run_pods_single_env(plan, config=config)
+        sent, received = outcome.bytes_moved
+        assert sent == received
+        payload = sum(pod.n_clients * pod.file_bytes for pod in plan.pods)
+        assert sent >= payload * config.hdfs.replication
+
     def test_worker_failure_is_named(self, monkeypatch):
         import repro.workloads.sharded as sharded_mod
 
@@ -127,4 +157,47 @@ class TestExecutorEquivalence:
             run_pods_sharded(
                 small_plan(n_pods=2), shards=2,
                 config=small_config(), jobs=1,
+            )
+
+
+class TestWindowedExecution:
+    def test_windowed_matches_merge_timeline(self):
+        """Windowed chunks at infinite lookahead replay the exact
+        single-env timeline; the health dict shows the barrier work."""
+        plan = small_plan()
+        config = small_config()
+        baseline = run_pods_single_env(plan, config=config)
+        windowed = run_pods_single_env(
+            plan, config=config, shards=2, windowed=True, window=1.0
+        )
+        assert windowed.executor == "sharded-windowed"
+        assert windowed.timeline == baseline.timeline
+        assert windowed.fully_replicated
+        assert windowed.bytes_moved == baseline.bytes_moved
+        assert windowed.health["window_barriers"] > 0
+        assert windowed.health["window_events"] > 0
+        assert windowed.health["window_batch_max"] > 0
+
+    def test_threaded_windowed_matches_sequential(self):
+        plan = small_plan()
+        config = small_config()
+        sequential = run_pods_single_env(
+            plan, config=config, shards=2, windowed=True, window=1.0
+        )
+        threaded = run_pods_single_env(
+            plan, config=config, shards=2, windowed=True, window=1.0,
+            workers=2,
+        )
+        assert threaded.timeline == sequential.timeline
+        assert threaded.fully_replicated
+        assert threaded.health["window_workers"] == 2
+
+    def test_windowed_requires_shards(self):
+        with pytest.raises(ValueError, match="requires shards"):
+            run_pods_single_env(
+                small_plan(), config=small_config(), windowed=True
+            )
+        with pytest.raises(ValueError, match="requires shards"):
+            run_pods_single_env(
+                small_plan(), config=small_config(), workers=2
             )
