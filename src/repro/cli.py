@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from .experiments import ALL_EXPERIMENTS, experiment_config, run_all
 from .faults import report_json, run_campaign
 from .hdfs import HdfsDeployment, HdfsReader
+from .policy import policy_names
 from .smarth import SmarthDeployment
 from .units import fmt_rate, fmt_size, fmt_time, parse_duration, parse_size
 from .workloads import compare, contention, heterogeneous, run_upload, two_rack
@@ -181,6 +182,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         default=None,
         help="write one Chrome trace per (run, protocol) into DIR",
+    )
+    chaos.add_argument(
+        "--policy",
+        choices=policy_names(),
+        default=None,
+        help="run every schedule under a registered deployment policy "
+        "(default: the built-in default policy)",
     )
 
     serve = sub.add_parser(
@@ -386,6 +394,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         protocols=protocols,
         scale=args.scale,
         trace_dir=args.trace_dir,
+        policy=args.policy,
     )
     rendered = report_json(report)
     if args.out:

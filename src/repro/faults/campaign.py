@@ -205,14 +205,18 @@ def _defuse_failure(event: Event) -> None:
 
 
 def run_schedule(
-    schedule: ChaosSchedule, protocol: str, trace_path: Optional[str] = None
+    schedule: ChaosSchedule,
+    protocol: str,
+    trace_path: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> dict:
     """Execute one schedule under one protocol; returns the run verdict.
 
     ``trace_path`` opts the run into span tracing (repro.obs) and writes
     the Chrome ``trace_event`` JSON there after the run settles.  The
     tracer is a passive observer: the verdict is byte-identical with or
-    without it.
+    without it.  ``policy`` selects a registered deployment policy by
+    name (``None`` keeps the ambient default).
     """
     if protocol not in _PROTOCOLS:
         raise ValueError(f"unknown protocol {protocol!r}; expected hdfs|smarth")
@@ -221,9 +225,9 @@ def run_schedule(
     env, cluster = schedule.scenario().make(config)
     observe = trace_path is not None
     deployment = (
-        SmarthDeployment(cluster, observe=observe)
+        SmarthDeployment(cluster, observe=observe, policy=policy)
         if protocol == "smarth"
-        else HdfsDeployment(cluster, observe=observe)
+        else HdfsDeployment(cluster, observe=observe, policy=policy)
     )
     monitor = InvariantMonitor(deployment)
     injector = FaultInjector(deployment)
@@ -303,6 +307,7 @@ def run_campaign(
     protocols: tuple[str, ...] = _PROTOCOLS,
     scale: float = 1.0,
     trace_dir: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> dict:
     """Run ``runs`` schedules (sub-seeds ``seed+i``) under each protocol.
 
@@ -310,7 +315,10 @@ def run_campaign(
     verdicts, per-invariant check/violation totals, and a ready-to-paste
     repro command for every non-green run.  ``trace_dir`` additionally
     writes one Chrome trace per (run, protocol) as
-    ``run<index>-<protocol>.json``.
+    ``run<index>-<protocol>.json``.  ``policy`` runs every schedule
+    under a registered deployment policy; the report then carries a
+    ``policy`` key (omitted when ``None``, keeping historical reports
+    byte-identical).
     """
     for protocol in protocols:
         if protocol not in _PROTOCOLS:
@@ -337,7 +345,9 @@ def run_campaign(
                 if trace_dir is not None
                 else None
             )
-            verdict = run_schedule(schedule, protocol, trace_path=trace_path)
+            verdict = run_schedule(
+                schedule, protocol, trace_path=trace_path, policy=policy
+            )
             verdicts.append(verdict)
             outcomes[verdict["outcome"]] = (
                 outcomes.get(verdict["outcome"], 0) + 1
@@ -347,9 +357,10 @@ def run_campaign(
                 totals[name]["violations"] += len(tally["violations"])
             if not verdict["ok"]:
                 all_green = False
+                policy_arg = f" --policy {policy}" if policy else ""
                 verdict["repro"] = (
                     f"python -m repro chaos --seed {subseed} --runs 1 "
-                    f"--protocol {protocol} --scale {scale:g}"
+                    f"--protocol {protocol} --scale {scale:g}{policy_arg}"
                 )
 
         report_runs.append(
@@ -361,7 +372,7 @@ def run_campaign(
             }
         )
 
-    return {
+    report = {
         "seed": seed,
         "runs": runs,
         "protocols": list(protocols),
@@ -372,6 +383,9 @@ def run_campaign(
         "invariant_totals": totals,
         "runs_detail": report_runs,
     }
+    if policy is not None:
+        report["policy"] = policy
+    return report
 
 
 def report_json(report: dict) -> str:

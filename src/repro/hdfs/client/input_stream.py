@@ -83,6 +83,9 @@ class HdfsReader:
         for block in inode.blocks:
             source = yield from self._read_block(block)
             result.sources.append((block.block_id, source))
+            # Popularity feed for replication policies (DESIGN.md §12):
+            # the hotspot policy counts these to raise replica targets.
+            self.deployment.policy.note_read(block.block_id, source)
         result.end = self.env.now
         return result
 

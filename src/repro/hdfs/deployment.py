@@ -17,6 +17,7 @@ from ..cluster.builder import Cluster
 from ..cluster.node import Node
 from ..config import SimulationConfig
 from ..obs import MetricsRegistry, Tracer
+from ..policy.registry import PolicySpec, resolve_policy
 from ..sim import Environment, Event, Store
 from .datanode import BlockReceiver, Datanode
 from .namenode import Namenode
@@ -65,6 +66,7 @@ class HdfsDeployment:
         enable_replication_monitor: bool = True,
         observe: bool = False,
         start_services: bool = True,
+        policy: PolicySpec = None,
     ):
         self.cluster = cluster
         self.config = config or cluster.config
@@ -105,6 +107,16 @@ class HdfsDeployment:
             )
             datanode.register_with(self.namenode, start_heartbeat=start_services)
             self.datanodes[host.name] = datanode
+
+        #: The deployment-wide strategy bundle (DESIGN.md §12): ``None``
+        #: resolves the ambient spec (``"default"`` unless swapped via
+        #: :func:`repro.policy.use_policy`).  An explicit ``placement``
+        #: argument wins over the policy's placement hook.
+        self.policy = resolve_policy(policy, self)
+        if placement is None:
+            override = self.policy.placement()
+            if override is not None:
+                self.namenode.placement = override
 
         from .replication import ReplicationMonitor
 

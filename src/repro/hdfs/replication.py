@@ -30,6 +30,7 @@ from ..sim import Interrupt, ProcessGenerator
 from .protocol import BlockState
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..policy.base import ReplicationPolicy
     from .deployment import HdfsDeployment
 
 __all__ = ["ReplicationMonitor", "copy_block"]
@@ -72,6 +73,7 @@ class ReplicationMonitor:
         interval: Optional[float] = None,
         max_streams_per_source: int = 2,
         autostart: bool = True,
+        policy: Optional["ReplicationPolicy"] = None,
     ):
         self.deployment = deployment
         self.env = deployment.env
@@ -81,6 +83,12 @@ class ReplicationMonitor:
         self.interval = interval or config.heartbeat_interval
         self.max_streams_per_source = max_streams_per_source
         self.replication = config.replication
+        #: Replica-count/selection strategy (DESIGN.md §12); defaults to
+        #: the deployment policy's, whose stock implementation consumes
+        #: this monitor's RNG in exactly the historical order.
+        self.policy = policy if policy is not None else (
+            deployment.policy.replication()
+        )
 
         #: Blocks with an in-flight replication task.
         self._in_flight: set[int] = set()
@@ -88,6 +96,8 @@ class ReplicationMonitor:
         self._streams: dict[str, int] = {}
         #: Completed re-replications (for tests/reporting).
         self.completed: list[tuple[int, str, str]] = []
+        #: Replicas dropped by the excess pass (for tests/reporting).
+        self.removed: list[tuple[int, str]] = []
         self.rng = random.Random(deployment.config.seed ^ 0x9EA1)
         self._proc = None
         if autostart:
@@ -116,6 +126,8 @@ class ReplicationMonitor:
                         self._replicate(block_id, source, target),
                         name=f"rerepl:b{block_id}",
                     )
+                if self.policy.manages_excess:
+                    self._trim_excess()
         except Interrupt:
             return
 
@@ -132,18 +144,31 @@ class ReplicationMonitor:
                 self.namenode.blocks.remove_datanode(name)
 
     def _plan(self) -> list[tuple[int, str, str]]:
-        """One (block, source, target) task per healable block."""
+        """One (block, source, target) task per healable block.
+
+        Per-block targets and the source/target picks come from the
+        replication policy; with the stock policy the scan bound equals
+        the configured factor and both picks consume ``self.rng`` in the
+        historical order, so the plan is byte-identical to the
+        pre-policy monitor.
+        """
         blocks = self.namenode.blocks
         manager = self.namenode.datanodes
+        topology = self.deployment.network.topology
         live = set(manager.live_datanodes())
+        now = self.env.now
         tasks: list[tuple[int, str, str]] = []
 
-        for block_id in blocks.under_replicated(self.replication):
+        for block_id in blocks.under_replicated(self.policy.scan_replication()):
             if block_id in self._in_flight:
                 continue
             info = blocks.info(block_id)
             if info.state is not BlockState.COMPLETE:
                 continue  # the writing client's recovery owns this block
+            if info.finalized_replicas >= self.policy.target_replication(
+                block_id, now
+            ):
+                continue  # scanned only because the policy widened the bound
             holders = [d for d in blocks.locations(block_id) if d in live]
             if not holders:
                 continue  # unrecoverable: no live replica at all
@@ -154,25 +179,48 @@ class ReplicationMonitor:
             ]
             if not sources:
                 continue
-            source = sources[self.rng.randrange(len(sources))]
-            target = self._pick_target(holders, live)
+            source = self.policy.select_source(self.rng, sources)
+            target = self.policy.select_target(
+                self.rng, holders, live, topology
+            )
             if target is None:
                 continue
             tasks.append((block_id, source, target))
         return tasks
 
-    def _pick_target(self, holders: list[str], live: set[str]) -> Optional[str]:
-        """A live non-holder, preferring a rack without a replica yet."""
-        topology = self.deployment.network.topology
-        candidates = sorted(live - set(holders))
-        if not candidates:
-            return None
-        holder_racks = {topology.rack_of(h) for h in holders}
-        fresh_rack = [
-            c for c in candidates if topology.rack_of(c) not in holder_racks
-        ]
-        pool = fresh_rack or candidates
-        return pool[self.rng.randrange(len(pool))]
+    def _trim_excess(self) -> None:
+        """Drop replicas the policy deems excess (hotspot cool-down).
+
+        Only runs for policies with ``manages_excess``; never shrinks a
+        block below the configured replication factor, and leaves blocks
+        with in-flight copy tasks alone.
+        """
+        blocks = self.namenode.blocks
+        live = set(self.namenode.datanodes.live_datanodes())
+        now = self.env.now
+        for info in blocks.all_blocks():
+            if info.state is not BlockState.COMPLETE:
+                continue
+            block_id = info.block.block_id
+            if block_id in self._in_flight:
+                continue
+            holders = [d for d in blocks.locations(block_id) if d in live]
+            victims = self.policy.excess_replicas(block_id, holders, now)
+            for victim in victims:
+                if len(holders) <= self.replication:
+                    break  # durability floor: never trim below base
+                if victim not in holders:
+                    continue
+                holders.remove(victim)
+                blocks.drop_replica(block_id, victim)
+                self.removed.append((block_id, victim))
+                self.deployment.journal.emit(
+                    now,
+                    "replica_trimmed",
+                    f"block:{block_id}",
+                    datanode=victim,
+                )
+                self.deployment.metrics.count("replicas_trimmed")
 
     def _replicate(self, block_id: int, source: str, target: str) -> ProcessGenerator:
         """One bookkept :func:`copy_block` task."""

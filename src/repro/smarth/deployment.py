@@ -2,14 +2,13 @@
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from ..cluster.builder import Cluster
 from ..cluster.node import Node
 from ..config import SimulationConfig
 from ..hdfs.deployment import HdfsDeployment
-from .global_opt import SmarthPlacementPolicy
+from ..policy.registry import PolicySpec
 from .multi_writer import SmarthClient
 
 __all__ = ["SmarthDeployment"]
@@ -20,7 +19,10 @@ class SmarthDeployment(HdfsDeployment):
 
     Datanode and namenode services are unchanged (SMARTH is a protocol
     change, not a storage change); the namenode's placement policy is
-    swapped for :class:`SmarthPlacementPolicy` and clients are
+    swapped for the deployment policy's
+    :meth:`~repro.policy.base.Policy.smarth_placement` — the stock
+    :class:`~repro.smarth.global_opt.SmarthPlacementPolicy` under the
+    default policy — and clients are
     :class:`~repro.smarth.multi_writer.SmarthClient` instances.
     """
 
@@ -31,6 +33,7 @@ class SmarthDeployment(HdfsDeployment):
         enable_replication_monitor: bool = True,
         observe: bool = False,
         start_services: bool = True,
+        policy: PolicySpec = None,
     ):
         super().__init__(
             cluster,
@@ -38,16 +41,11 @@ class SmarthDeployment(HdfsDeployment):
             enable_replication_monitor=enable_replication_monitor,
             observe=observe,
             start_services=start_services,
+            policy=policy,
         )
-        cfg = self.config
-        self.namenode.placement = SmarthPlacementPolicy(
-            topology=self.network.topology,
-            datanodes=self.namenode.datanodes,
-            speeds=self.namenode.speeds,
-            rng=random.Random(cfg.seed ^ 0xC0FFEE),
-            replication=cfg.hdfs.replication,
-            enabled=cfg.smarth.enable_global_opt,
-        )
+        placement = self.policy.smarth_placement()
+        if placement is not None:
+            self.namenode.placement = placement
 
     def client(
         self, host: Optional[Node] = None, name: Optional[str] = None

@@ -32,6 +32,7 @@ from ..hdfs.client.responder import PacketResponder
 from ..hdfs.deployment import HdfsDeployment
 from ..hdfs.protocol import DatanodeDead, Packet, WriteResult
 from ..hdfs.train import plan_train
+from ..policy.base import NO_TUNING, ClientTuning
 from ..sim import Event, Interrupt, ProcessGenerator, Resource, Store, race
 from .local_opt import LocalOptimizer
 from .pipeline import PipelineState, SmarthPipeline
@@ -92,6 +93,9 @@ class SmarthClient:
         self._max_concurrent = 0
         self._trace_upload = 0
         self._datanode_set: frozenset[str] = frozenset()
+        #: Per-upload knob overrides from the deployment policy (set at
+        #: the start of each :meth:`put`; identity under DefaultPolicy).
+        self._tuning: ClientTuning = NO_TUNING
 
     def _all_datanodes(self) -> frozenset[str]:
         """Deployment datanode names; cached, membership only ever grows."""
@@ -117,6 +121,14 @@ class SmarthClient:
         hdfs_cfg = self.config.hdfs
         smarth_cfg = self.config.smarth
         start = env.now
+        # Ask the deployment policy for this upload's knobs (DESIGN.md
+        # §12).  The default policy returns the identity tuning, leaving
+        # the configured threshold/cap/train behavior untouched.
+        policy = self.deployment.policy
+        tuning = policy.tuning_for(self.name)
+        self._tuning = tuning
+        if tuning.local_opt_threshold is not None:
+            self.local_opt.threshold = tuning.local_opt_threshold
         tracer = self.deployment.tracer
         self._trace_upload = tracer.begin(
             "upload", f"client:{self.name}", f"upload:{path}", start,
@@ -136,8 +148,12 @@ class SmarthClient:
             producer(env, self.node, plans, data_queue), name=f"producer:{path}"
         )
 
-        cap = smarth_cfg.pipeline_cap(
-            self.deployment.live_datanode_count(), hdfs_cfg.replication
+        cap = (
+            tuning.max_pipelines
+            if tuning.max_pipelines is not None
+            else smarth_cfg.pipeline_cap(
+                self.deployment.live_datanode_count(), hdfs_cfg.replication
+            )
         )
         slots = Resource(env, capacity=cap)
         buffer_bytes = smarth_cfg.datanode_buffer or hdfs_cfg.block_size
@@ -172,6 +188,7 @@ class SmarthClient:
             self._reporter.interrupt("upload finished")
         tracer.end(self._trace_upload, env.now)
 
+        policy.observe_upload(self.name, path, size, env.now - start, tuning)
         return WriteResult(
             path=path,
             size=size,
@@ -335,6 +352,7 @@ class SmarthClient:
             and not pipeline.sent_seqs
             and not pipeline.acked_seqs
             and pipeline.recoveries == 0
+            and self._train_allowed(pipeline.plan)
         ):
             train = plan_train(
                 self.deployment,
@@ -392,6 +410,21 @@ class SmarthClient:
             pipeline.responder.packet_sent(packet)
         tracer.end(t_stream, env.now)
         return _OK, None
+
+    def _train_allowed(self, plan: BlockPlan) -> bool:
+        """Per-upload packet-train gate from the policy's tuning.
+
+        Mirrors ``HdfsConfig.coalesce_packets`` semantics (``0`` whole
+        blocks, ``1`` disabled, ``n > 1`` only blocks of at most ``n``
+        packets); ``None`` defers entirely to the config, which
+        ``plan_train`` applies itself.
+        """
+        bound = self._tuning.coalesce_packets
+        if bound is None or bound == 0:
+            return True
+        if bound == 1:
+            return False
+        return plan.n_packets <= bound
 
     def _send_packet(
         self, pipeline: SmarthPipeline, packet: Packet

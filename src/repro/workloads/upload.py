@@ -16,6 +16,7 @@ from ..config import SimulationConfig
 from ..faults.injector import FaultInjector
 from ..hdfs.deployment import HdfsDeployment
 from ..hdfs.protocol import WriteResult
+from ..policy.registry import PolicySpec
 from ..smarth.deployment import SmarthDeployment
 from ..units import parse_size
 from .scenarios import Scenario
@@ -50,8 +51,14 @@ def run_upload(
     path: str = "/data/upload.bin",
     fault_hook: Optional[Callable[[FaultInjector], None]] = None,
     observe: bool = False,
+    policy: "PolicySpec" = None,
 ) -> UploadOutcome:
-    """Upload ``size`` bytes through ``system`` ("hdfs" or "smarth")."""
+    """Upload ``size`` bytes through ``system`` ("hdfs" or "smarth").
+
+    ``policy`` accepts anything :func:`repro.policy.resolve_policy`
+    does; passing one *instance* across calls lets stateful policies
+    (the online tuner) learn across otherwise-independent uploads.
+    """
     if system not in ("hdfs", "smarth"):
         raise ValueError(f"unknown system {system!r}; expected hdfs|smarth")
     size = parse_size(size)
@@ -59,9 +66,9 @@ def run_upload(
 
     env, cluster = scenario.make(config)
     deployment = (
-        SmarthDeployment(cluster, observe=observe)
+        SmarthDeployment(cluster, observe=observe, policy=policy)
         if system == "smarth"
-        else HdfsDeployment(cluster, observe=observe)
+        else HdfsDeployment(cluster, observe=observe, policy=policy)
     )
 
     injected: tuple[str, ...] = ()

@@ -1,0 +1,139 @@
+"""Read-path edge cases: empty files, odd block boundaries, dead replicas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import SMALL, build_homogeneous
+from repro.config import SimulationConfig
+from repro.hdfs import HdfsDeployment, HdfsReader
+from repro.hdfs.client.input_stream import BlockUnavailable
+from repro.hdfs.protocol import FileNotFound
+from repro.sim import Environment
+from repro.units import KB, MB
+
+BLOCK = 2 * MB
+
+
+def build(n_datanodes: int = 6):
+    env = Environment()
+    config = SimulationConfig().with_hdfs(
+        block_size=BLOCK, packet_size=64 * KB
+    )
+    cluster = build_homogeneous(
+        env, SMALL, n_datanodes=n_datanodes, config=config
+    )
+    return env, HdfsDeployment(cluster)
+
+
+def put(env, deployment, path: str, size: int):
+    client = deployment.client()
+    return env.run(until=env.process(client.put(path, size)))
+
+
+def read(env, deployment, path: str):
+    reader = HdfsReader(deployment)
+    return env.run(until=env.process(reader.get(path)))
+
+
+class TestEmptyAndMissing:
+    def test_zero_length_file_reads_as_file_not_found(self):
+        """A created-but-never-written file has no blocks; the reader
+        reports that the way Hadoop reports an unreadable path."""
+        env, deployment = build()
+        deployment.namenode.namespace.create("/empty", client="c")
+        with pytest.raises(FileNotFound, match="no blocks"):
+            read(env, deployment, "/empty")
+
+    def test_missing_path_raises_file_not_found(self):
+        env, deployment = build()
+        with pytest.raises(FileNotFound):
+            read(env, deployment, "/never-written")
+
+    def test_zero_byte_write_is_rejected_up_front(self):
+        env, deployment = build()
+        with pytest.raises(ValueError, match="must be positive"):
+            put(env, deployment, "/zero", 0)
+
+
+class TestBlockBoundaries:
+    @pytest.mark.parametrize(
+        "size",
+        [
+            BLOCK - 1,  # one byte short of a boundary
+            BLOCK,  # exactly one block
+            BLOCK + 1,  # one byte into the second block
+            3 * BLOCK + 512 * KB,  # ragged tail block
+        ],
+    )
+    def test_sizes_straddling_boundaries_read_back_fully(self, size: int):
+        env, deployment = build()
+        write = put(env, deployment, "/f", size)
+        result = read(env, deployment, "/f")
+        assert result.size == size
+        assert len(result.sources) == write.n_blocks
+        # Block ids arrive in file order, each served by a real holder.
+        namenode = deployment.namenode
+        for block, (block_id, source) in zip(
+            namenode.namespace.get("/f").blocks, result.sources
+        ):
+            assert block.block_id == block_id
+            assert source in namenode.blocks.locations(block_id)
+
+    def test_partial_tail_block_transfers_only_its_bytes(self):
+        """The reader streams block.size, not block_size, for the tail."""
+        size = BLOCK + 256 * KB
+        env, deployment = build()
+        put(env, deployment, "/f", size)
+        blocks = deployment.namenode.namespace.get("/f").blocks
+        assert [b.size for b in blocks] == [BLOCK, 256 * KB]
+        result = read(env, deployment, "/f")
+        assert result.size == size
+        assert result.duration > 0
+
+
+class TestAllReplicasDead:
+    def test_read_fails_with_block_unavailable(self):
+        env, deployment = build()
+        put(env, deployment, "/f", 2 * BLOCK)
+        namenode = deployment.namenode
+        first_block = namenode.namespace.get("/f").blocks[0]
+        for holder in namenode.blocks.locations(first_block.block_id):
+            deployment.datanode(holder).kill()
+        with pytest.raises(BlockUnavailable, match=str(first_block.block_id)):
+            read(env, deployment, "/f")
+
+    def test_error_names_the_block_and_chains_the_cause(self):
+        env, deployment = build()
+        put(env, deployment, "/f", BLOCK)
+        namenode = deployment.namenode
+        block = namenode.namespace.get("/f").blocks[0]
+        reader = HdfsReader(deployment)
+
+        # Kill every holder mid-stream: the reader tries each candidate,
+        # sees it die, and surfaces the *last* failure as the cause.
+        for holder in namenode.blocks.locations(block.block_id):
+            deployment.datanode(holder).kill()
+        try:
+            env.run(until=env.process(reader.get("/f")))
+        except BlockUnavailable as err:
+            assert "no live replica" in str(err)
+        else:  # pragma: no cover - the assertion is the raise
+            pytest.fail("expected BlockUnavailable")
+
+    def test_one_survivor_still_serves_every_block(self):
+        env, deployment = build()
+        put(env, deployment, "/f", 2 * BLOCK)
+        namenode = deployment.namenode
+        # For each block kill all holders but one.
+        survivors = {}
+        for block in namenode.namespace.get("/f").blocks:
+            holders = namenode.blocks.locations(block.block_id)
+            survivors[block.block_id] = holders[0]
+        for name in sorted(deployment.datanodes):
+            if name not in survivors.values():
+                deployment.datanode(name).kill()
+        result = read(env, deployment, "/f")
+        assert result.size == 2 * BLOCK
+        for block_id, source in result.sources:
+            assert deployment.datanode(source).node.alive

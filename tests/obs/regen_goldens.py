@@ -1,6 +1,10 @@
 """Regenerate the pinned fig5 trace goldens.
 
 Usage:  PYTHONPATH=src python tests/obs/regen_goldens.py
+
+:func:`generate` is the pure half — it returns the golden file contents
+without touching disk, so ``tests/policy/test_regen_goldens.py`` can
+assert the regeneration is idempotent and matches the checked-in bytes.
 """
 
 from __future__ import annotations
@@ -13,14 +17,20 @@ from repro.obs.trace_cmd import run_traced
 HERE = Path(__file__).parent
 
 
-def main() -> None:
+def generate() -> dict[str, str]:
+    """Golden file name -> contents, freshly computed."""
     run = run_traced("fig5", seed=0, scale=0.25)
-    trace = HERE / "golden_fig5_trace.json"
-    metrics = HERE / "golden_fig5_metrics.txt"
-    trace.write_text(chrome_trace_json(run.tracer, label="fig5"))
-    metrics.write_text(run.summary)
-    print(f"wrote {trace} ({trace.stat().st_size} bytes)")
-    print(f"wrote {metrics} ({metrics.stat().st_size} bytes)")
+    return {
+        "golden_fig5_trace.json": chrome_trace_json(run.tracer, label="fig5"),
+        "golden_fig5_metrics.txt": run.summary,
+    }
+
+
+def main() -> None:
+    for name, text in generate().items():
+        path = HERE / name
+        path.write_text(text)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,143 @@
+"""Online tuner: probe-then-exploit over SMARTH protocol knobs."""
+
+from __future__ import annotations
+
+from repro.config import SimulationConfig
+from repro.policy import ClientTuning, OnlineTunerPolicy
+from repro.policy.tuner import DEFAULT_GRID
+from repro.smarth import SmarthDeployment
+from repro.units import MB
+from repro.workloads import heterogeneous, run_upload
+
+
+def _observe(policy: OnlineTunerPolicy, client: str, arm: int, rate: float):
+    policy.observe_upload(
+        client, "/f", nbytes=int(rate), duration=1.0, tuning=policy.grid[arm]
+    )
+
+
+class TestArmSelection:
+    def test_probe_phase_cycles_the_grid(self) -> None:
+        policy = OnlineTunerPolicy()
+        seen = []
+        for _ in range(policy._probe_budget()):
+            tuning = policy.tuning_for("c")
+            seen.append(policy.grid.index(tuning))
+            _observe(policy, "c", seen[-1], rate=100.0)
+        assert seen == [0, 1, 2, 0, 1, 2]
+        assert policy.chosen("c") is not None
+
+    def test_exploitation_picks_best_mean_throughput(self) -> None:
+        policy = OnlineTunerPolicy()
+        for arm, rate in ((0, 50.0), (1, 200.0), (2, 100.0)):
+            for _ in range(policy.probe_rounds):
+                _observe(policy, "c", arm, rate)
+        assert policy.best_arm("c") == 1
+        assert policy.tuning_for("c") == policy.grid[1]
+        assert policy.chosen("c") == policy.grid[1]
+
+    def test_ties_break_toward_the_later_arm(self) -> None:
+        policy = OnlineTunerPolicy()
+        for arm in range(3):
+            for _ in range(policy.probe_rounds):
+                _observe(policy, "c", arm, rate=100.0)
+        assert policy.best_arm("c") == 2
+
+    def test_chosen_is_none_while_probing(self) -> None:
+        policy = OnlineTunerPolicy()
+        assert policy.chosen("c") is None
+        _observe(policy, "c", 0, rate=100.0)
+        assert policy.chosen("c") is None
+
+    def test_clients_learn_independently(self) -> None:
+        policy = OnlineTunerPolicy()
+        for _ in range(policy.probe_rounds):
+            _observe(policy, "a", 0, rate=500.0)
+            _observe(policy, "a", 1, rate=10.0)
+            _observe(policy, "a", 2, rate=10.0)
+            _observe(policy, "b", 0, rate=10.0)
+            _observe(policy, "b", 1, rate=10.0)
+            _observe(policy, "b", 2, rate=500.0)
+        assert policy.best_arm("a") == 0
+        assert policy.best_arm("b") == 2
+
+    def test_foreign_tuning_is_counted_but_not_scored(self) -> None:
+        policy = OnlineTunerPolicy()
+        foreign = ClientTuning(local_opt_threshold=0.5)
+        policy.observe_upload("c", "/f", 100, 1.0, foreign)
+        assert policy._uploads["c"] == 1
+        assert policy.best_arm("c") == len(policy.grid) - 1  # all unscored
+
+    def test_describe_serializes_the_grid(self) -> None:
+        description = OnlineTunerPolicy().describe()
+        assert description["name"] == "tuner"
+        assert [g["local_opt_threshold"] for g in description["grid"]] == [
+            0.8,
+            0.9,
+            1.0,
+        ]
+
+
+class TestAppliedTunings:
+    def _put(self, policy, size=8 * MB):
+        env, cluster = heterogeneous().make(SimulationConfig())
+        deployment = SmarthDeployment(cluster, policy=policy)
+        client = deployment.client()
+        result = env.run(until=env.process(client.put("/f", size)))
+        return client, result
+
+    def test_threshold_reaches_the_local_optimizer(self) -> None:
+        policy = OnlineTunerPolicy()
+        policy.grid = (ClientTuning(local_opt_threshold=1.0),)
+        client, _ = self._put(policy)
+        assert client.local_opt.threshold == 1.0
+        assert client._tuning == policy.grid[0]
+
+    def test_max_pipelines_caps_concurrency(self) -> None:
+        policy = OnlineTunerPolicy()
+        policy.grid = (ClientTuning(max_pipelines=1),)
+        _, result = self._put(policy, size=16 * MB)
+        assert result.max_concurrent_pipelines == 1
+
+    def test_default_grid_matches_the_papers_threshold_first(self) -> None:
+        assert DEFAULT_GRID[0].local_opt_threshold == 0.8
+
+
+class TestCrossDeploymentLearning:
+    def test_one_instance_learns_across_fresh_clusters(self) -> None:
+        policy = OnlineTunerPolicy()
+        uploads = policy._probe_budget() + 2
+        for _ in range(uploads):
+            run_upload(
+                heterogeneous(),
+                "smarth",
+                8 * MB,
+                config=SimulationConfig(),
+                policy=policy,
+            )
+        (client,) = policy._uploads
+        assert policy._uploads[client] == uploads
+        assert policy.chosen(client) is not None
+        for arm in range(len(policy.grid)):
+            histogram = policy.metrics.histogram(
+                policy._arm_metric(client, arm)
+            )
+            assert histogram.count >= policy.probe_rounds
+
+    def test_learning_is_deterministic(self) -> None:
+        def learn() -> tuple:
+            policy = OnlineTunerPolicy()
+            durations = []
+            for _ in range(policy._probe_budget() + 1):
+                outcome = run_upload(
+                    heterogeneous(),
+                    "smarth",
+                    8 * MB,
+                    config=SimulationConfig(),
+                    policy=policy,
+                )
+                durations.append(outcome.duration)
+            (client,) = policy._uploads
+            return tuple(durations), policy.chosen(client)
+
+        assert learn() == learn()

@@ -1,6 +1,10 @@
 """Regenerate the pinned service checkpoint/resume goldens.
 
 Usage:  PYTHONPATH=src python tests/service/regen_goldens.py
+
+:func:`generate` is the pure half — it returns the golden file contents
+without touching disk, so ``tests/policy/test_regen_goldens.py`` can
+assert the regeneration is idempotent and matches the checked-in bytes.
 """
 
 from __future__ import annotations
@@ -17,7 +21,8 @@ from repro.service import IngestService  # noqa: E402
 from tests.service.specs import golden_spec  # noqa: E402
 
 
-def main() -> None:
+def generate() -> dict[str, str]:
+    """Golden file name -> contents, freshly computed."""
     goldens = {}
     for label, chaos in (("plain", False), ("chaos", True)):
         report = IngestService(golden_spec(shards=1, chaos=chaos)).run()
@@ -25,9 +30,18 @@ def main() -> None:
             "digests": report.digests(),
             "counts": report.counts,
         }
-    path = HERE / "golden_service_digests.json"
-    path.write_text(json.dumps(goldens, sort_keys=True, indent=2) + "\n")
-    print(f"wrote {path} ({path.stat().st_size} bytes)")
+    return {
+        "golden_service_digests.json": (
+            json.dumps(goldens, sort_keys=True, indent=2) + "\n"
+        )
+    }
+
+
+def main() -> None:
+    for name, text in generate().items():
+        path = HERE / name
+        path.write_text(text)
+        print(f"wrote {path} ({path.stat().st_size} bytes)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,106 @@
+"""Hypothesis properties for :mod:`repro.rng` substream derivation.
+
+The simulator's determinism story leans on ``substream``: every
+per-(consumer, key) decision draws from its own generator, derived by
+pure arithmetic from the root seed.  These properties pin the contract —
+stability (same path, same stream, regardless of process or of what
+other streams did), sensitivity (any change to the path changes the
+stream), and cross-run reproducibility (no ``hash()`` salting anywhere).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rng import substream, substream_seed
+
+KEY = st.one_of(
+    st.integers(min_value=-(2**63), max_value=2**64 - 1),
+    st.text(max_size=16),
+)
+KEYS = st.lists(KEY, max_size=6)
+SEED = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+@given(seed=SEED, keys=KEYS)
+def test_seed_is_stable(seed: int, keys: list) -> None:
+    assert substream_seed(seed, *keys) == substream_seed(seed, *keys)
+
+
+@given(seed=SEED, keys=KEYS)
+def test_seed_is_a_64_bit_value(seed: int, keys: list) -> None:
+    derived = substream_seed(seed, *keys)
+    assert 0 <= derived < 2**64
+
+
+@given(seed=SEED, keys=KEYS)
+def test_streams_replay_identically(seed: int, keys: list) -> None:
+    first = [substream(seed, *keys).random() for _ in range(3)]
+    again = [substream(seed, *keys).random() for _ in range(3)]
+    assert first == again
+
+
+@given(seed=SEED, keys=KEYS, extra=KEY)
+def test_appending_a_key_changes_the_stream(seed, keys, extra) -> None:
+    assert substream_seed(seed, *keys) != substream_seed(seed, *keys, extra)
+
+
+@given(seed=SEED, keys=KEYS, index=st.integers(min_value=0, max_value=5))
+def test_perturbing_one_int_key_changes_the_stream(seed, keys, index) -> None:
+    keys = list(keys) + [0]  # ensure at least one int key exists
+    index %= len(keys)
+    if not isinstance(keys[index], int):
+        keys[index] = 0
+    perturbed = list(keys)
+    perturbed[index] = keys[index] + 1
+    assert substream_seed(seed, *keys) != substream_seed(seed, *perturbed)
+
+
+@given(seed=SEED)
+def test_int_and_str_keys_are_distinct(seed: int) -> None:
+    """``substream(seed, 1)`` and ``substream(seed, "1")`` must differ —
+    a type confusion at a call site should change behavior loudly, not
+    silently alias another consumer's stream."""
+    assert substream_seed(seed, 1) != substream_seed(seed, "1")
+
+
+@given(
+    seed=SEED,
+    a=st.integers(min_value=0, max_value=2**32 - 1),
+    b=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_key_order_matters(seed: int, a: int, b: int) -> None:
+    if a == b:
+        return
+    assert substream_seed(seed, a, b) != substream_seed(seed, b, a)
+
+
+@given(seed=SEED, keys=KEYS, other=KEYS, draws=st.integers(1, 50))
+def test_draining_one_stream_leaves_siblings_untouched(
+    seed, keys, other, draws
+) -> None:
+    """Independence: however much one consumer draws, a sibling path
+    re-derived afterwards starts from the same state."""
+    before = substream(seed, *other).random()
+    noisy = substream(seed, *keys)
+    for _ in range(draws):
+        noisy.random()
+    assert substream(seed, *other).random() == before
+
+
+@given(seed=SEED, n=st.integers(min_value=2, max_value=32))
+def test_sibling_streams_do_not_collide(seed: int, n: int) -> None:
+    """First draws across n sibling paths are pairwise distinct — the
+    derivation actually spreads, it does not funnel paths together."""
+    draws = {substream(seed, "sibling", i).random() for i in range(n)}
+    assert len(draws) == n
+
+
+def test_derivation_is_pinned_across_processes() -> None:
+    """Golden values: the derivation must never depend on ``hash()``
+    salting or platform word size.  If this fails, every checked-in
+    golden that consumed a substream is silently invalidated."""
+    assert substream_seed(20140901) == 0x483C4CBAA6D3BA40
+    assert substream_seed(20140901, "client", 5) == 0x5DC4922A1ED4A618
+    assert substream_seed(0, 0) == 0x4D25767F9DCE13F5
