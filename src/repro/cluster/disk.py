@@ -62,6 +62,19 @@ class Disk:
         self.bytes_read += size
         yield self.env.timeout_at(end)
 
+    def read_event(self, size: int):
+        """Commit a read and return the event firing at its completion.
+
+        The read serve loop issues one of these per chunk; like
+        :meth:`write_event` it costs one heap entry where a spawned
+        ``read`` process costs three plus the generator.
+        """
+        if size < 0:
+            raise ValueError(f"read size must be non-negative, got {size}")
+        res = self._channel.reserve(size, self.rate)
+        self.bytes_read += size
+        return res
+
     @property
     def queue_len(self) -> int:
         """Writes waiting for the channel (used to detect disk pressure).

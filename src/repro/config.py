@@ -99,6 +99,27 @@ class HdfsConfig:
     #: bit-identical either way (equivalence tested like
     #: ``coalesce_packets``).
     batch_completions: int = 1
+    #: Concurrent read streams one datanode serves at a time (the
+    #: ``dfs.datanode.max.transfer.threads`` analogue).  Excess readers
+    #: queue at the datanode and the wait is recorded in the
+    #: ``read.serve_wait`` histogram.  Reads and writes additionally share
+    #: each node's disk channel and NIC channels, so a serving datanode
+    #: slows co-resident pipeline traffic and vice versa.
+    serve_streams: int = 4
+    #: Read-train coalescing for the read hot loop, with the
+    #: ``coalesce_packets`` semantics: ``0`` (the default) collapses a
+    #: whole block's steady-state chunk cascade into one analytically
+    #: quoted :class:`~repro.hdfs.train.ReadTrain`; ``1`` disables
+    #: coalescing (legacy per-chunk events); ``n > 1`` coalesces only
+    #: blocks of at most ``n`` chunks.  Timing is bit-identical either
+    #: way (equivalence tested like ``coalesce_packets``).
+    coalesce_reads: int = 0
+    #: Short-circuit local reads: a reader co-located on a node that holds
+    #: a live finalized replica scans its local disk directly — no
+    #: connection setup, no NIC occupancy, no datanode serve slot
+    #: (Hadoop's ``dfs.client.read.shortcircuit``).  ``0`` disables;
+    #: every read then streams through the serving datanode.
+    short_circuit_reads: int = 1
 
     def __post_init__(self) -> None:
         if self.block_size <= 0:
@@ -117,6 +138,12 @@ class HdfsConfig:
             raise ValueError("coalesce_packets must be >= 0")
         if self.batch_completions not in (0, 1):
             raise ValueError("batch_completions must be 0 or 1")
+        if self.serve_streams < 1:
+            raise ValueError("serve_streams must be >= 1")
+        if self.coalesce_reads < 0:
+            raise ValueError("coalesce_reads must be >= 0")
+        if self.short_circuit_reads not in (0, 1):
+            raise ValueError("short_circuit_reads must be 0 or 1")
 
     @property
     def packets_per_block(self) -> int:

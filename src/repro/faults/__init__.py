@@ -3,13 +3,21 @@
 from .campaign import (
     ChaosSchedule,
     FaultSpec,
+    generate_read_schedule,
     generate_schedule,
     report_json,
     run_campaign,
+    run_read_campaign,
+    run_read_schedule,
     run_schedule,
 )
 from .injector import FaultEvent, FaultInjector
-from .invariants import INVARIANT_NAMES, InvariantMonitor, InvariantRecord
+from .invariants import (
+    INVARIANT_NAMES,
+    READ_INVARIANT_NAMES,
+    InvariantMonitor,
+    InvariantRecord,
+)
 
 __all__ = [
     "FaultInjector",
@@ -17,10 +25,14 @@ __all__ = [
     "FaultSpec",
     "ChaosSchedule",
     "generate_schedule",
+    "generate_read_schedule",
     "run_schedule",
+    "run_read_schedule",
     "run_campaign",
+    "run_read_campaign",
     "report_json",
     "InvariantMonitor",
     "InvariantRecord",
     "INVARIANT_NAMES",
+    "READ_INVARIANT_NAMES",
 ]

@@ -32,14 +32,21 @@ from ..smarth.deployment import SmarthDeployment
 from ..units import KB, MB
 from ..workloads.scenarios import Scenario, two_rack
 from .injector import FaultInjector
-from .invariants import INVARIANT_NAMES, InvariantMonitor
+from .invariants import (
+    INVARIANT_NAMES,
+    READ_INVARIANT_NAMES,
+    InvariantMonitor,
+)
 
 __all__ = [
     "FaultSpec",
     "ChaosSchedule",
     "generate_schedule",
+    "generate_read_schedule",
     "run_schedule",
+    "run_read_schedule",
     "run_campaign",
+    "run_read_campaign",
     "report_json",
 ]
 
@@ -391,3 +398,272 @@ def run_campaign(
 def report_json(report: dict) -> str:
     """Canonical JSON rendering (sorted keys → byte-identical per seed)."""
     return json.dumps(report, indent=2, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Degraded-read campaigns
+# ---------------------------------------------------------------------------
+
+#: Concurrent readers per run; with ``READ_SERVE_STREAMS`` slots per
+#: datanode they genuinely queue on hot replicas.
+READ_FANOUT = 3
+#: Serve-queue capacity for read runs — deliberately below the default so
+#: the shared serve queue is exercised, not just modeled.
+READ_SERVE_STREAMS = 2
+
+
+def generate_read_schedule(seed: int, scale: float = 1.0) -> ChaosSchedule:
+    """One degraded-read fault plan, derived from ``random.Random(seed)``.
+
+    The schedule's fault times are *offsets from the start of the read
+    phase* (the file is ingested undisturbed first); kills are budgeted
+    to ``replication - 1`` so every block always keeps a live replica —
+    a degraded read must therefore complete, and in full.
+    """
+    rng = random.Random(seed)
+    replication = SimulationConfig().hdfs.replication
+
+    n_datanodes = rng.randint(5, 9)
+    names = [f"dn{i}" for i in range(n_datanodes)]
+    boundary = rng.choice((None, None, 50.0, 100.0))
+    size_mb = rng.choice((6, 8, 10, 12))
+    size = max(int(size_mb * MB * scale), 2 * CHAOS_BLOCK_SIZE)
+
+    faults: list[FaultSpec] = []
+    kill_budget = replication - 1
+    for _ in range(rng.randint(1, 3)):
+        # Reads finish in well under a second; land faults mid-stream.
+        at = round(rng.uniform(0.01, 0.4), 3)
+        kind = rng.choice(("kill", "kill", "throttle"))
+        if kind == "kill" and kill_budget <= 0:
+            kind = "throttle"
+        if kind == "kill":
+            kill_budget -= 1
+            name = names[rng.randrange(n_datanodes)]
+            faults.append(FaultSpec("kill", at, datanode=name))
+            if rng.random() < 0.5:  # compound: crash, then restart
+                faults.append(
+                    FaultSpec(
+                        "revive",
+                        round(at + rng.uniform(1.0, 4.0), 3),
+                        datanode=name,
+                    )
+                )
+        else:
+            name = names[rng.randrange(n_datanodes)]
+            rate = rng.choice((25.0, 50.0, 100.0))
+            faults.append(
+                FaultSpec("throttle", at, datanode=name, rate_mbps=rate)
+            )
+            if rng.random() < 0.6:  # compound: transient slowdown
+                faults.append(
+                    FaultSpec(
+                        "unthrottle",
+                        round(at + rng.uniform(0.1, 0.5), 3),
+                        datanode=name,
+                    )
+                )
+
+    faults.sort(key=lambda f: (f.at, f.kind, f.datanode or ""))
+    return ChaosSchedule(
+        seed=seed,
+        n_datanodes=n_datanodes,
+        boundary_throttle_mbps=boundary,
+        size=size,
+        faults=tuple(faults),
+    )
+
+
+def run_read_schedule(
+    schedule: ChaosSchedule,
+    protocol: str,
+    policy: Optional[str] = None,
+) -> dict:
+    """Ingest undisturbed, then chaos the read phase; returns the verdict.
+
+    ``READ_FANOUT`` concurrent readers fetch the whole file while the
+    schedule's kills and throttles (shifted to the read phase) hit
+    replica holders underneath them.  The monitor checks the write
+    invariants during ingest and ``read_durability`` on every completed
+    block read: a degraded read must resume on a surviving replica and
+    deliver the block in full, never short data.
+    """
+    if protocol not in _PROTOCOLS:
+        raise ValueError(f"unknown protocol {protocol!r}; expected hdfs|smarth")
+    from ..hdfs.client.input_stream import BlockUnavailable, HdfsReader
+
+    config = schedule.config()
+    config = config.with_hdfs(serve_streams=READ_SERVE_STREAMS)
+    env, cluster = schedule.scenario().make(config)
+    deployment = (
+        SmarthDeployment(cluster, policy=policy)
+        if protocol == "smarth"
+        else HdfsDeployment(cluster, policy=policy)
+    )
+    monitor = InvariantMonitor(
+        deployment,
+        invariant_names=INVARIANT_NAMES + READ_INVARIANT_NAMES,
+    )
+
+    client = deployment.client()
+    path = "/chaos/read.bin"
+    ingest = env.process(
+        client.put(path, schedule.size), name=f"chaos-read:{protocol}:ingest"
+    )
+    env.run(until=ingest)
+    read_phase_start = env.now
+
+    injector = FaultInjector(deployment)
+    for fault in schedule.faults:
+        FaultSpec(
+            fault.kind,
+            round(read_phase_start + fault.at, 6),
+            datanode=fault.datanode,
+            rate_mbps=fault.rate_mbps,
+            pick=fault.pick,
+        ).apply(injector)
+
+    procs = []
+    for i in range(READ_FANOUT):
+        reader = HdfsReader(deployment, name=f"chaos-reader{i}")
+        proc = env.process(
+            _delayed_read(env, reader, path, delay=i * 0.01),
+            name=f"chaos-read:{protocol}:r{i}",
+        )
+        proc.callbacks.append(_defuse_failure)
+        procs.append(proc)
+
+    outcome = "completed"
+    error: Optional[str] = None
+    results = []
+    try:
+        env.run(until=RUN_DEADLINE)
+    except Exception as exc:  # a non-reader process crashed
+        outcome, error = "crash", repr(exc)
+    else:
+        for proc in procs:
+            if not proc.triggered:
+                outcome = "hang"
+                error = f"read still running at t={env.now:g}"
+                break
+            if not proc.ok:
+                outcome = (
+                    "read_failed"
+                    if isinstance(proc.value, BlockUnavailable)
+                    else "crash"
+                )
+                error = repr(proc.value)
+                break
+            results.append(proc.value)
+
+    if outcome == "completed":
+        # Let the replication monitor declare dead nodes and heal
+        # under-replication before the convergence check.
+        hdfs_cfg = config.hdfs
+        dead_after = hdfs_cfg.heartbeat_interval * hdfs_cfg.dead_node_heartbeats
+        last_fault = read_phase_start + schedule.last_fault_at
+        settle_until = max(env.now, last_fault) + dead_after + SETTLE_MARGIN
+        try:
+            env.run(until=settle_until)
+        except Exception as exc:
+            outcome, error = "crash", repr(exc)
+
+    monitor.stop()
+    monitor.finalize(outcome)
+
+    verdict = {
+        "protocol": protocol,
+        "outcome": outcome,
+        "ok": monitor.all_ok,
+        "invariants": monitor.to_dict(),
+        "violations": monitor.violations(),
+        "injected": [
+            {"at": e.at, "kind": e.kind, "datanode": e.datanode}
+            for e in injector.events
+        ],
+        "reads": [
+            {
+                "duration": result.duration,
+                "sources": [list(s) for s in result.sources],
+            }
+            for result in results
+        ],
+    }
+    if error is not None:
+        verdict["error"] = error
+    return verdict
+
+
+def _delayed_read(env, reader, path: str, delay: float):
+    if delay:
+        yield env.timeout(delay)
+    result = yield env.process(reader.get(path))
+    return result
+
+
+def run_read_campaign(
+    seed: int,
+    runs: int,
+    protocols: tuple[str, ...] = _PROTOCOLS,
+    scale: float = 1.0,
+    policy: Optional[str] = None,
+) -> dict:
+    """Run ``runs`` degraded-read schedules under each protocol.
+
+    Same report shape as :func:`run_campaign`, with invariant totals
+    covering the read set too (``read_durability``).
+    """
+    for protocol in protocols:
+        if protocol not in _PROTOCOLS:
+            raise ValueError(f"unknown protocol {protocol!r}")
+
+    names = INVARIANT_NAMES + READ_INVARIANT_NAMES
+    totals = {name: {"checks": 0, "violations": 0} for name in names}
+    fault_kinds: dict[str, int] = {}
+    outcomes: dict[str, int] = {}
+    report_runs = []
+    all_green = True
+
+    for index in range(runs):
+        subseed = seed + index
+        schedule = generate_read_schedule(subseed, scale=scale)
+        for fault in schedule.faults:
+            fault_kinds[fault.kind] = fault_kinds.get(fault.kind, 0) + 1
+
+        verdicts = []
+        for protocol in protocols:
+            verdict = run_read_schedule(schedule, protocol, policy=policy)
+            verdicts.append(verdict)
+            outcomes[verdict["outcome"]] = (
+                outcomes.get(verdict["outcome"], 0) + 1
+            )
+            for name, tally in verdict["invariants"].items():
+                totals[name]["checks"] += tally["checks"]
+                totals[name]["violations"] += len(tally["violations"])
+            if not verdict["ok"]:
+                all_green = False
+
+        report_runs.append(
+            {
+                "index": index,
+                "subseed": subseed,
+                "schedule": schedule.to_dict(),
+                "verdicts": verdicts,
+            }
+        )
+
+    report = {
+        "seed": seed,
+        "runs": runs,
+        "protocols": list(protocols),
+        "scale": scale,
+        "kind": "read",
+        "all_green": all_green,
+        "outcomes": outcomes,
+        "fault_kinds": fault_kinds,
+        "invariant_totals": totals,
+        "runs_detail": report_runs,
+    }
+    if policy is not None:
+        report["policy"] = policy
+    return report

@@ -36,6 +36,18 @@ The invariant suite (names are stable identifiers used in reports):
 ``recovery_outcome``
     A faulted run either completes or raises ``RecoveryFailed`` — it
     never hangs and never fails some other way.
+
+Read campaigns (:func:`repro.faults.campaign.run_read_campaign`) extend
+the monitor with :data:`READ_INVARIANT_NAMES`:
+
+``read_durability``
+    Every ``read_complete`` journal event delivered exactly the block's
+    size — a degraded read (source killed mid-stream, resumed on another
+    replica) never returns short data.
+
+Write-only campaigns keep the historical name set, so their reports stay
+byte-identical; pass ``invariant_names=INVARIANT_NAMES +
+READ_INVARIANT_NAMES`` to monitor a workload that reads.
 """
 
 from __future__ import annotations
@@ -48,9 +60,15 @@ from ..hdfs.deployment import HdfsDeployment
 from ..hdfs.protocol import BlockState, WriteResult
 from ..sim import Interrupt, ProcessGenerator
 
-__all__ = ["InvariantRecord", "InvariantMonitor", "INVARIANT_NAMES"]
+__all__ = [
+    "InvariantRecord",
+    "InvariantMonitor",
+    "INVARIANT_NAMES",
+    "READ_INVARIANT_NAMES",
+]
 
-#: Stable identifiers of every invariant the monitor checks.
+#: Stable identifiers of every invariant the monitor checks by default
+#: (the historical write-path set).
 INVARIANT_NAMES: tuple[str, ...] = (
     "acked_durability",
     "committed_replica_liveness",
@@ -60,6 +78,9 @@ INVARIANT_NAMES: tuple[str, ...] = (
     "pipeline_cap",
     "recovery_outcome",
 )
+
+#: Additional invariants for workloads that read (degraded-read chaos).
+READ_INVARIANT_NAMES: tuple[str, ...] = ("read_durability",)
 
 
 @dataclass
@@ -101,6 +122,7 @@ class InvariantMonitor:
         deployment: HdfsDeployment,
         sample_interval: float = 0.05,
         buffer_bound_bytes: Optional[int] = None,
+        invariant_names: tuple[str, ...] = INVARIANT_NAMES,
     ):
         self.deployment = deployment
         self.env = deployment.env
@@ -119,7 +141,7 @@ class InvariantMonitor:
         )
 
         self.records: dict[str, InvariantRecord] = {
-            name: InvariantRecord(name) for name in INVARIANT_NAMES
+            name: InvariantRecord(name) for name in invariant_names
         }
         self._generation_high: dict[str, int] = {}
         self._live_pipelines: dict[str, set[str]] = {}
@@ -142,6 +164,18 @@ class InvariantMonitor:
             )
             if high is None or generation > high:
                 self._generation_high[event.subject] = generation
+
+        if (
+            event.kind == "read_complete"
+            and "read_durability" in self.records
+        ):
+            delivered = event.details["bytes"]
+            size = event.details["size"]
+            self.records["read_durability"].check(
+                delivered == size and size > 0,
+                f"{event.subject}: read by {event.details.get('client')} "
+                f"returned {delivered}/{size} bytes (t={event.time:.3f})",
+            )
 
         client = event.details.get("client")
         if client is not None and event.kind == "pipeline_open":

@@ -5,12 +5,27 @@ reads — and the read path is how tests verify that replicas written
 through either protocol are actually usable.  Semantics follow Hadoop:
 
 * the client asks the namenode for each block's locations;
-* it reads each block from the *nearest* replica (topology distance:
-  same node < same rack < off rack), falling back to the next-nearest on
-  datanode failure;
+* replica selection goes through the deployment-wide
+  :meth:`~repro.hdfs.deployment.HdfsDeployment.ranked_replicas` path —
+  speed-aware ranking with topology locality as the tie-break (a cold
+  speed registry reduces to the classic nearest-replica order);
+* each stream is admitted against the serving datanode's bounded serve
+  queue (``HdfsConfig.serve_streams``, the
+  ``dfs.datanode.max.transfer.threads`` analogue), so concurrent readers
+  contend for real dataXceiver capacity, not just for the NIC;
 * within a block, reads are chunked at packet granularity with the disk
   read of chunk *i+1* overlapping the network transfer of chunk *i*
-  (Hadoop's BlockSender does the same with its transfer buffer).
+  (Hadoop's BlockSender does the same with its transfer buffer).  With
+  ``coalesce_reads`` enabled (the default) a pristine stream collapses
+  into a :class:`~repro.hdfs.train.ReadTrain` — identical timeline, O(1)
+  heap events per block;
+* a replica co-located with the reader is served by a short-circuit
+  local read (``HdfsConfig.short_circuit_reads``): a direct disk scan
+  that bypasses connection setup, the serve queue and both NICs, like
+  Hadoop's ``dfs.client.read.shortcircuit``;
+* a source dying mid-stream does not restart the block: the reader
+  re-ranks the surviving replicas and resumes from the next-best one at
+  the exact byte offset already delivered.
 """
 
 from __future__ import annotations
@@ -19,10 +34,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ...cluster.node import Node
-from ...rng import substream
 from ...sim import ProcessGenerator
+from ..datanode import Datanode, ReadServe
 from ..deployment import HdfsDeployment
-from ..protocol import Block, FileNotFound, HdfsError
+from ..protocol import Block, DatanodeDead, FileNotFound, HdfsError
+from ..train import plan_read_train
 
 __all__ = ["ReadResult", "HdfsReader", "BlockUnavailable"]
 
@@ -40,6 +56,8 @@ class ReadResult:
     start: float
     end: float
     #: (block_id, datanode) pairs actually read from, in block order.
+    #: A block resumed after a mid-stream source death records the
+    #: replica that completed it.
     sources: list[tuple[int, str]] = field(default_factory=list)
 
     @property
@@ -90,66 +108,172 @@ class HdfsReader:
         return result
 
     # ------------------------------------------------------------------
-    def _candidates(self, block: Block) -> list[str]:
-        """Live replica holders, nearest first (ties broken randomly).
+    def _candidates(
+        self, block: Block, exclude: frozenset[str] = frozenset()
+    ) -> list[str]:
+        """Live replica holders, best first (see ``ranked_replicas``).
 
         The tie-break draws from a per-(reader, block) substream rather
         than one shared reader stream, so the candidate order for a block
         does not depend on how many blocks this reader — or an
         interleaved sibling — already read.
         """
-        namenode = self.deployment.namenode
-        locations = [
-            dn
-            for dn in namenode.blocks.locations(block.block_id)
-            if self.deployment.datanode(dn).node.alive
-        ]
-        substream(self._rng_seed, self.name, block.block_id).shuffle(locations)
-        topology = self.network.topology
-        if self.node.name in topology:
-            locations.sort(key=lambda dn: topology.distance(self.node.name, dn))
-        else:
-            locations.sort(
-                key=lambda dn: 0 if topology.rack_of(dn) == self.node.rack else 1
-            )
-        return locations
+        return self.deployment.ranked_replicas(
+            block,
+            client=self.name,
+            node=self.node,
+            seed=self._rng_seed,
+            exclude=exclude,
+        )
 
     def _read_block(self, block: Block) -> ProcessGenerator:
-        """Stream one block from its nearest live replica."""
+        """Serve one block in full; returns the replica that finished it.
+
+        Candidates are tried best-first.  A source dying mid-stream
+        carries its delivered byte count out via :class:`_SourceDied`;
+        the reader re-ranks the survivors and resumes the stream at that
+        offset instead of re-reading the block from scratch.
+        """
+        offset = 0
+        failed: set[str] = set()
         last_error: Exception | None = None
-        for source in self._candidates(block):
+        while True:
+            candidates = self._candidates(block, exclude=frozenset(failed))
+            if not candidates:
+                raise BlockUnavailable(
+                    f"block {block.block_id}: no live replica"
+                ) from last_error
+            source = candidates[0]
             try:
-                yield from self._stream_from(source, block)
-                return source
-            except _SourceDied as err:  # try the next replica
+                streamed = yield from self._stream_from(source, block, offset)
+            except _SourceDied as err:  # resume from the next-best replica
                 last_error = err
-        raise BlockUnavailable(
-            f"block {block.block_id}: no live replica"
-        ) from last_error
+                failed.add(source)
+                offset += err.streamed
+                continue
+            delivered = offset + streamed
+            self.deployment.journal.emit(
+                self.env.now,
+                "read_complete",
+                f"block:{block.block_id}",
+                client=self.name,
+                source=source,
+                bytes=delivered,
+                size=block.size,
+            )
+            return source
 
-    def _stream_from(self, source: str, block: Block) -> ProcessGenerator:
+    # ------------------------------------------------------------------
+    def _stream_from(
+        self, source: str, block: Block, offset: int = 0
+    ) -> ProcessGenerator:
+        """Stream ``block`` from ``source`` starting at ``offset``.
+
+        Returns the bytes streamed this attempt; raises
+        :class:`_SourceDied` (carrying partial progress) if the source
+        crashes underneath the stream.
+        """
         datanode = self.deployment.datanode(source)
-        packet_size = self.config.hdfs.packet_size
+        size = block.size - offset
+        if (
+            datanode.node is self.node
+            and self.config.hdfs.short_circuit_reads
+        ):
+            streamed = yield from self._short_circuit(datanode, size)
+            return streamed
+        if not datanode.node.alive:
+            raise _SourceDied(source, 0)
         yield self.env.process(self.network.connection_setup(1))
+        try:
+            serve = yield from datanode.open_serve(block.block_id, self.name)
+        except DatanodeDead:
+            raise _SourceDied(source, 0) from None
+        try:
+            train = plan_read_train(
+                self.deployment, datanode, self.node, serve, block, offset
+            )
+            if train is not None:
+                train.start()
+                outcome = yield train.done
+                if outcome is None:  # source died mid-train
+                    raise _SourceDied(source, train.delivered_bytes)
+                return train.delivered_bytes
+            streamed = yield from self._chunk_loop(datanode, serve, source, size)
+            return streamed
+        finally:
+            serve.close()
 
-        remaining = block.size
-        # Prefetch pipeline: disk read of the next chunk overlaps the
-        # network transfer of the current one.
+    def _chunk_loop(
+        self, datanode: Datanode, serve: ReadServe, source: str, size: int
+    ) -> ProcessGenerator:
+        """The per-chunk stream: prefetch pipeline over disk + NICs.
+
+        The disk read of the next chunk is committed the instant the
+        previous disk wait resolves, overlapping the current chunk's
+        transfer — the recurrence :class:`~repro.hdfs.train.ReadTrain`
+        reproduces analytically.
+        """
+        packet_size = self.config.hdfs.packet_size
+        network = self.network
+        disk = datanode.node.disk
+        requote = network.config.requote_in_flight
+        streamed = 0
+        remaining = size
         next_chunk = min(packet_size, remaining)
-        disk_read = self.env.process(datanode.node.disk.read(next_chunk))
+        disk_done = disk.read_event(next_chunk)
         while remaining > 0:
-            if not datanode.node.alive:
-                raise _SourceDied(source)
+            if not datanode.node.alive or serve.closed:
+                raise _SourceDied(source, streamed)
             chunk = next_chunk
-            yield disk_read
+            yield disk_done
             remaining -= chunk
             if remaining > 0:
                 next_chunk = min(packet_size, remaining)
-                disk_read = self.env.process(datanode.node.disk.read(next_chunk))
-            yield self.env.process(
-                self.network.transfer(datanode.node, self.node, chunk)
-            )
+                disk_done = disk.read_event(next_chunk)
+            if requote:
+                # Preemptible reservations need the full transfer process.
+                yield self.env.process(
+                    network.transfer(datanode.node, self.node, chunk)
+                )
+            else:
+                done, finish = network.transfer_begin(
+                    datanode.node, self.node, chunk
+                )
+                yield done
+                finish()
+            streamed += chunk
+        return streamed
+
+    def _short_circuit(self, datanode: Datanode, size: int) -> ProcessGenerator:
+        """Short-circuit local read: scan the co-located replica's disk.
+
+        No connection setup, no serve slot, no NIC occupancy — the block
+        never crosses the network, exactly like Hadoop's
+        ``dfs.client.read.shortcircuit``.  Chunked so a (self-)failing
+        node is still detected at packet granularity.
+        """
+        disk = datanode.node.disk
+        packet_size = self.config.hdfs.packet_size
+        streamed = 0
+        remaining = size
+        while remaining > 0:
+            if not datanode.node.alive:
+                raise _SourceDied(datanode.name, streamed)
+            chunk = min(packet_size, remaining)
+            yield disk.read_event(chunk)
+            remaining -= chunk
+            streamed += chunk
+        return streamed
 
 
 class _SourceDied(HdfsError):
-    """Internal: the replica being streamed from crashed."""
+    """Internal: the replica being streamed from crashed.
+
+    ``streamed`` is the byte count this attempt had fully delivered
+    before the crash — the resume offset for the next replica.
+    """
+
+    def __init__(self, source: str, streamed: int = 0):
+        super().__init__(f"replica {source} died mid-stream")
+        self.source = source
+        self.streamed = streamed

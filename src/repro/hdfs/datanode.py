@@ -36,13 +36,24 @@ from ..cluster.node import Node
 from ..config import HdfsConfig
 from ..net.transport import Network
 from ..obs import DISABLED_METRICS, DISABLED_TRACER, MetricsRegistry, Tracer
-from ..sim import Environment, Event, Interrupt, Process, ProcessGenerator, Store
+from ..sim import (
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    ProcessGenerator,
+    Resource,
+    Store,
+)
 from .protocol import FNFA, Ack, Block, DatanodeDead, Packet
 
 if TYPE_CHECKING:  # pragma: no cover
+    from typing import Callable
+
+    from ..sim import Request
     from .namenode import Namenode
 
-__all__ = ["Datanode", "BlockReceiver", "trigger_pipeline_error"]
+__all__ = ["Datanode", "BlockReceiver", "ReadServe", "trigger_pipeline_error"]
 
 
 def trigger_pipeline_error(error: Event, failed_datanode: str) -> None:
@@ -345,6 +356,62 @@ class BlockReceiver:
             self.datanode._receiver_closed(self)
 
 
+class ReadServe:
+    """One admitted read stream on a datanode (a dataXceiver analogue).
+
+    Created by :meth:`Datanode.open_serve` once a serve slot is granted;
+    the holder must call :meth:`close` when the stream ends (successfully
+    or not) to free the slot for queued readers.  :meth:`Datanode.kill`
+    aborts open serves, firing ``on_kill`` so analytically-conducted
+    streams (read trains) can unwind at the instant of death — the legacy
+    per-chunk loop instead notices the dead node on its next iteration,
+    exactly as it always has.
+    """
+
+    __slots__ = ("datanode", "block_id", "client", "on_kill", "_request", "_closed")
+
+    def __init__(
+        self,
+        datanode: "Datanode",
+        request: "Request",
+        block_id: int,
+        client: str,
+    ):
+        self.datanode = datanode
+        self.block_id = block_id
+        self.client = client
+        #: Optional hook fired when the serving datanode dies mid-stream.
+        self.on_kill: Optional["Callable[[], None]"] = None
+        self._request = request
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the serve slot (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.datanode._serve_closed(self)
+
+    def abort(self) -> None:
+        """Datanode died: free the slot and notify the stream."""
+        if self._closed:
+            return
+        self.close()
+        if self.on_kill is not None:
+            self.on_kill()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"<ReadServe {self.datanode.name} b{self.block_id} "
+            f"-> {self.client} {state}>"
+        )
+
+
 class Datanode:
     """The datanode service running on one cluster node."""
 
@@ -366,6 +433,11 @@ class Datanode:
         self.namenode: Optional["Namenode"] = None
         self._active: set[BlockReceiver] = set()
         self._heartbeat_proc: Optional[Process] = None
+        #: FIFO serve-slot admission for read streams (the
+        #: ``dfs.datanode.max.transfer.threads`` analogue): at most
+        #: ``serve_streams`` concurrent readers, the rest queue.
+        self._serve_slots = Resource(env, capacity=config.serve_streams)
+        self._serving: set[ReadServe] = set()
 
     @property
     def name(self) -> str:
@@ -379,6 +451,16 @@ class Datanode:
     def receivers(self) -> tuple[BlockReceiver, ...]:
         """The currently open receivers (observability for monitors)."""
         return tuple(self._active)
+
+    @property
+    def active_serves(self) -> int:
+        """Read streams currently holding a serve slot."""
+        return len(self._serving)
+
+    @property
+    def serve_queue_len(self) -> int:
+        """Readers waiting for a serve slot."""
+        return self._serve_slots.queue_len
 
     # -- namenode liaison ----------------------------------------------------
     def register_with(
@@ -463,6 +545,43 @@ class Datanode:
     def _receiver_closed(self, receiver: BlockReceiver) -> None:
         self._active.discard(receiver)
 
+    # -- read serving --------------------------------------------------------
+    def open_serve(self, block_id: int, client: str) -> ProcessGenerator:
+        """Admit one read stream; yields until a serve slot is granted.
+
+        Returns a :class:`ReadServe` handle (``serve = yield from
+        datanode.open_serve(...)``).  Any admission wait is recorded in
+        the ``read.serve_wait`` histogram and as a ``serve_wait`` span, so
+        mixed workloads expose datanode serve-queue pressure directly.
+        Raises :class:`~repro.hdfs.protocol.DatanodeDead` if the node is
+        (or dies while) waiting.
+        """
+        if not self.node.alive:
+            raise DatanodeDead(self.name)
+        requested = self.env.now
+        request = self._serve_slots.request()
+        if not request.processed:
+            span = self.tracer.begin(
+                "serve_wait",
+                f"datanode:{self.name}",
+                f"b{block_id}:serve",
+                requested,
+                client=client,
+            )
+            yield request
+            self.tracer.end(span, self.env.now)
+        self.metrics.observe("read.serve_wait", self.env.now - requested)
+        if not self.node.alive:
+            self._serve_slots.release(request)
+            raise DatanodeDead(self.name)
+        serve = ReadServe(self, request, block_id, client)
+        self._serving.add(serve)
+        return serve
+
+    def _serve_closed(self, serve: ReadServe) -> None:
+        self._serving.discard(serve)
+        self._serve_slots.release(serve._request)
+
     # -- faults ------------------------------------------------------------------
     def kill(self) -> None:
         """Crash this datanode: stop receivers and signal their pipelines."""
@@ -476,6 +595,10 @@ class Datanode:
             )
         for receiver in list(self._active):
             receiver.abort(self.name)
+        for serve in sorted(
+            self._serving, key=lambda s: (s.block_id, s.client)
+        ):
+            serve.abort()
         if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
             self._heartbeat_proc.interrupt("datanode killed")
 

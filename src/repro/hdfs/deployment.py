@@ -18,6 +18,7 @@ from ..cluster.node import Node
 from ..config import SimulationConfig
 from ..obs import MetricsRegistry, Tracer
 from ..policy.registry import PolicySpec, resolve_policy
+from ..rng import substream
 from ..sim import Environment, Event, Store
 from .datanode import BlockReceiver, Datanode
 from .namenode import Namenode
@@ -141,6 +142,34 @@ class HdfsDeployment:
 
     def live_datanode_count(self) -> int:
         return sum(1 for d in self.datanodes.values() if d.node.alive)
+
+    def ranked_replicas(
+        self,
+        block: Block,
+        client: str,
+        node: Node,
+        seed: Optional[int] = None,
+        exclude: frozenset[str] | set[str] = frozenset(),
+    ) -> list[str]:
+        """Live finalized holders of ``block``, best-first for ``client``.
+
+        The single replica-selection path shared by the reader and the
+        MapReduce scheduler: holders are filtered to live nodes, shuffled
+        by a per-(client, block) substream (so ties left by the policy's
+        sorts break seed-stably and independently of read interleaving),
+        then handed to :meth:`repro.policy.Policy.rank_replicas` — speed
+        ranking with locality tie-breaks by default, overridable per
+        policy.  ``exclude`` drops replicas already tried this read.
+        """
+        if seed is None:
+            seed = self.config.seed ^ 0x8EAD
+        holders = [
+            dn
+            for dn in self.namenode.blocks.locations(block.block_id)
+            if dn not in exclude and self.datanodes[dn].node.alive
+        ]
+        substream(seed, client, block.block_id).shuffle(holders)
+        return self.policy.rank_replicas(client, block.block_id, holders, node)
 
     # ------------------------------------------------------------------
     def open_pipeline(

@@ -32,6 +32,9 @@ from .protocol import Block, BlockTargets, NoDatanodesAvailable
 
 __all__ = ["Namenode", "SpeedRegistry", "UncachedSpeedRegistry"]
 
+#: Shared empty map for clients with no records (never mutated).
+_NO_RECORDS: dict[str, float] = {}
+
 
 class SpeedRegistry:
     """Per-client datanode transfer-speed records (§III-B).
@@ -112,6 +115,14 @@ class SpeedRegistry:
                     break
         return out
 
+    def speed_table(self, client: str) -> dict[str, float]:
+        """The client's live record map — read-only, do not mutate.
+
+        Replica ranking on the read path consults this per block read;
+        handing out the internal dict (unlike :meth:`records_for`'s
+        copy) keeps that O(holders) per read.
+        """
+        return self._records.get(client, _NO_RECORDS)
 
     # -- snapshot protocol -------------------------------------------------
     def export_state(self) -> dict:

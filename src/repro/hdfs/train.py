@@ -1,4 +1,4 @@
-"""Packet-train coalescing for the pipeline hot loop.
+"""Analytic train coalescing for the write and read hot loops.
 
 In steady state the per-packet event cascade of a block write — buffer
 token, transfer, inbox hand-off, disk write, forward, ACK relay hop — is
@@ -42,6 +42,18 @@ train guarding a needed channel — and otherwise declines, falling back to
 the per-packet path.  Datanode kills mid-train (only reachable through
 direct, unscheduled ``kill()`` calls) settle the committed prefix and
 reconstruct the client-visible recovery state per Algorithm 3.
+
+:class:`ReadTrain` applies the same machinery to the read path: the
+steady-state chunk cascade of one block read — disk prefetch of chunk
+``k+1`` overlapping the transfer of chunk ``k`` — is a three-channel FIFO
+recurrence (source disk, source egress, reader ingress), so a whole block
+collapses into one conductor with a single end milestone.  The guard /
+ledger / frozen-prefix-replay machinery is shared through
+:class:`TrainBase`; reads have no producer, no ACKs and no downstream
+hops, so the conductor computes the full timeline up front and only
+replays on invalidation.  A mid-train datanode kill settles the
+strictly-delivered chunk prefix and reports the byte count so the reader
+can resume from the next-ranked replica.
 """
 
 from __future__ import annotations
@@ -58,9 +70,11 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..cluster.node import Node
     from .client.output_stream import BlockPlan
     from .client.responder import PacketResponder
+    from .datanode import Datanode, ReadServe
     from .deployment import HdfsDeployment, PipelineHandle
+    from .protocol import Block
 
-__all__ = ["PacketTrain", "plan_train"]
+__all__ = ["TrainBase", "PacketTrain", "ReadTrain", "plan_train", "plan_read_train"]
 
 
 def plan_train(
@@ -120,102 +134,39 @@ def plan_train(
     return train
 
 
-class PacketTrain:
-    """One coalesced block write: analytic timeline + real milestones."""
+class TrainBase:
+    """Guard / ledger / frozen-prefix-replay machinery shared by trains.
 
-    def __init__(
-        self,
-        deployment: "HdfsDeployment",
-        client_node: "Node",
-        handle: "PipelineHandle",
-        responder: "PacketResponder",
-        data_queue: Store,
-        plan: "BlockPlan",
-        batchable: bool = False,
-    ):
+    A train holds its channels' occupancy *analytically*: instead of
+    committing quotes to ``busy_until`` as it plans, it keeps a
+    per-channel ledger of ``(issue, end)`` pairs and installs a guard on
+    each channel.  A foreign quote materialises exactly the ledger prefix
+    legacy would already have committed, then wakes the conductor (the
+    ``_flag``) to replay the remainder with frozen-prefix semantics.
+    Subclasses provide the timeline recurrences (:meth:`_replay`) and the
+    conductor; everything here is recurrence-agnostic.
+    """
+
+    #: Metrics counter bumped once per conducted train.
+    conducted_metric = "trains_conducted"
+    #: Metrics counter bumped once per invalidation replay.
+    invalidation_metric = "train_invalidation_count"
+
+    def __init__(self, deployment: "HdfsDeployment", block: "Block"):
         self.env: Environment = deployment.env
         self.deployment = deployment
         self.network = deployment.network
-        self.client_node = client_node
-        self.handle = handle
-        self.block = handle.block
-        self.responder = responder
-        self.data_queue = data_queue
-        self.plan = plan
-        self.receivers = handle.receivers
-
-        self._sizes = plan.packet_sizes
-        self._K = plan.n_packets
-        self._total_bytes = plan.size
-        self._n_hops = len(self.receivers)
-        self._caps = [r.buffer_capacity for r in self.receivers]
-        #: (src, dst) node pair of each hop's inbound transfer.
-        self._links = [
-            (client_node if h == 0 else self.receivers[h - 1].host,
-             self.receivers[h].host)
-            for h in range(self._n_hops)
-        ]
-        self._egress = [src.nic.egress for src, _dst in self._links]
-        self._ingress = [dst.nic.ingress for _src, dst in self._links]
-        self._disk_ch = [r.host.disk._channel for r in self.receivers]
-        self._disk_rate = [r.host.disk.rate for r in self.receivers]
-        seen: dict = {}
-        for channel in (*self._egress, *self._ingress, *self._disk_ch):
-            seen.setdefault(id(channel), channel)
-        #: Every channel whose occupancy this train holds analytically.
-        self.channels = list(seen.values())
-
+        self.block = block
         self._L = self.network.config.link_latency
         self._C = self.network.config.control_latency
 
-        #: Fires once the success settle has completed (legacy block-done
-        #: time: the head datanode's last ACK reaching the client).
+        #: Fires when the train's stream completes (subclass-defined time).
         self.done: Event = self.env.event()
-        #: Fires at the last packet's first-hop arrival (legacy "all
-        #: packets sent" point — SMARTH's send loop resumes here).
-        self.sent: Event = self.env.event()
-        #: Simulated time the "sent" milestone fired (the baseline client
-        #: races ``done`` rather than ``sent``, so it reads this to close
-        #: its stream span at the legacy loop-exit instant).
-        self.sent_at: float = 0.0
-        #: Chunks actually consumed from the data queue, in order.
-        self.chunks: list = []
-        #: A data-queue get issued but not yet satisfied when the train
-        #: was killed.  Legacy leaves the same dangling get behind; the
-        #: client drains it so the produced chunk is not lost.
-        self.pending_get = None
-        #: Packets whose first-hop delivery completed (legacy's per-packet
-        #: send loop would have recorded these as sent) — the whole block
-        #: on success, the arrived prefix after an error settle.
-        self.sent_count = 0
-
-        # Per-hop timeline arrays, index = packet seq.
-        self._g: list[float] = []  # feeder get completion (real)
-        H = self._n_hops
-        self._p = [[] for _ in range(H)]    # transfer issue
-        self._ee = [[] for _ in range(H)]   # egress channel end
-        self._ie = [[] for _ in range(H)]   # ingress channel end
-        self._a = [[] for _ in range(H)]    # arrival (incl. link latency)
-        self._w = [[] for _ in range(H)]    # disk write end
-        self._u = [[] for _ in range(H)]    # ACK relayed upstream
-        self._rel = [[] for _ in range(H)]  # buffer token release
-
-        self._rates: list[float] = []
-        self._chan_busy: dict = {}
+        #: Every channel whose occupancy this train holds analytically.
+        self.channels: list = []
         #: Per channel: parallel (issues, ends) lists in FIFO order.
         self._ledger: dict = {}
-        self._old: Optional[tuple] = None  # previous arrays during replay
-        self._freeze_before = 0.0
-
-        batch_knob = deployment.config.hdfs.batch_completions == 1
-        #: Batched feeder: consume every already-produced chunk in one
-        #: synchronous pass with analytic get times.  Only safe when the
-        #: caller proved the whole file fits the data queue (puts can
-        #: never block, so early gets wake nobody).
-        self._batch_feed = bool(batchable) and batch_knob
-        #: Vectorized replay prefix / settle counters (numpy, bit-exact).
-        self._vector = batch_knob and HAVE_NUMPY
-
+        self._chan_busy: dict = {}
         self._flag: Event = self.env.event()
         self._guarded: set = set()  # channel ids still holding our guard
         self._fired: set = set()
@@ -223,29 +174,6 @@ class PacketTrain:
         self._started = False
         self._dead = False
         self._finished = False
-
-    # -- lifecycle ---------------------------------------------------------
-    def start(self) -> None:
-        """Quiesce the receivers, arm guards, and spawn the conductor."""
-        assert not self._started
-        self._started = True
-        for receiver in self.receivers:
-            receiver.quiesce_for_train()
-        for channel in self.channels:
-            channel._guard = self._make_guard(channel)
-            self._guarded.add(id(channel))
-        self.network.throttles.subscribe(self._on_throttle)
-        # Settle synchronously inside the error event's callback chain so
-        # the client (subscribed after us) resumes against settled state.
-        assert self.handle.error.callbacks is not None
-        self.handle.error.callbacks.append(self._on_error)
-        self._snapshot_rates()
-        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
-        self._ledger = {id(ch): ([], []) for ch in self.channels}
-        self.deployment.metrics.count("trains_conducted")
-        self.env.process(
-            self._conduct(), name=f"train:b{self.block.block_id}"
-        )
 
     # -- invalidation hooks ------------------------------------------------
     def _make_guard(self, channel):
@@ -296,8 +224,7 @@ class PacketTrain:
         ``busy_until`` and let foreign quotes (in particular the same
         client's next pipeline, which shares the egress NIC while this
         train is still waiting for tail ACKs) proceed guard-free.  Only
-        called from phase 2, when every row has been extended and the
-        ledger is complete.
+        called once the ledger is complete.
         """
         if not self._guarded:
             return
@@ -313,12 +240,7 @@ class PacketTrain:
                 channel._guard = None
                 self._guarded.discard(key)
 
-    # -- timeline math -----------------------------------------------------
-    def _snapshot_rates(self) -> None:
-        self._rates = [
-            self.network.effective_rate(src, dst) for src, dst in self._links
-        ]
-
+    # -- ledger math -------------------------------------------------------
     def _quote(self, channel, issue: float, size: int, rate: float) -> float:
         """The :meth:`Channel.quote` recurrence against the train ledger."""
         key = id(channel)
@@ -340,6 +262,138 @@ class PacketTrain:
         issues.append(issue)
         ends.append(end)
         return end
+
+    def _seed_ledger(self, channel, issues: list, ends: list) -> None:
+        """Install a copied frozen prefix as a channel's replay ledger."""
+        key = id(channel)
+        self._ledger[key] = (issues[:], ends[:])
+        if ends and ends[-1] > self._chan_busy[key]:
+            self._chan_busy[key] = ends[-1]
+
+    def _replay(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _maybe_replay(self) -> None:
+        if self._flag.triggered:
+            self._flag = self.env.event()
+            self.deployment.metrics.count(self.invalidation_metric)
+            self._replay()
+
+
+class PacketTrain(TrainBase):
+    """One coalesced block write: analytic timeline + real milestones."""
+
+    def __init__(
+        self,
+        deployment: "HdfsDeployment",
+        client_node: "Node",
+        handle: "PipelineHandle",
+        responder: "PacketResponder",
+        data_queue: Store,
+        plan: "BlockPlan",
+        batchable: bool = False,
+    ):
+        super().__init__(deployment, handle.block)
+        self.client_node = client_node
+        self.handle = handle
+        self.responder = responder
+        self.data_queue = data_queue
+        self.plan = plan
+        self.receivers = handle.receivers
+
+        self._sizes = plan.packet_sizes
+        self._K = plan.n_packets
+        self._total_bytes = plan.size
+        self._n_hops = len(self.receivers)
+        self._caps = [r.buffer_capacity for r in self.receivers]
+        #: (src, dst) node pair of each hop's inbound transfer.
+        self._links = [
+            (client_node if h == 0 else self.receivers[h - 1].host,
+             self.receivers[h].host)
+            for h in range(self._n_hops)
+        ]
+        self._egress = [src.nic.egress for src, _dst in self._links]
+        self._ingress = [dst.nic.ingress for _src, dst in self._links]
+        self._disk_ch = [r.host.disk._channel for r in self.receivers]
+        self._disk_rate = [r.host.disk.rate for r in self.receivers]
+        seen: dict = {}
+        for channel in (*self._egress, *self._ingress, *self._disk_ch):
+            seen.setdefault(id(channel), channel)
+        self.channels = list(seen.values())
+
+        # ``done`` (from TrainBase) fires once the success settle has
+        # completed (legacy block-done time: the head datanode's last ACK
+        # reaching the client).
+        #: Fires at the last packet's first-hop arrival (legacy "all
+        #: packets sent" point — SMARTH's send loop resumes here).
+        self.sent: Event = self.env.event()
+        #: Simulated time the "sent" milestone fired (the baseline client
+        #: races ``done`` rather than ``sent``, so it reads this to close
+        #: its stream span at the legacy loop-exit instant).
+        self.sent_at: float = 0.0
+        #: Chunks actually consumed from the data queue, in order.
+        self.chunks: list = []
+        #: A data-queue get issued but not yet satisfied when the train
+        #: was killed.  Legacy leaves the same dangling get behind; the
+        #: client drains it so the produced chunk is not lost.
+        self.pending_get = None
+        #: Packets whose first-hop delivery completed (legacy's per-packet
+        #: send loop would have recorded these as sent) — the whole block
+        #: on success, the arrived prefix after an error settle.
+        self.sent_count = 0
+
+        # Per-hop timeline arrays, index = packet seq.
+        self._g: list[float] = []  # feeder get completion (real)
+        H = self._n_hops
+        self._p = [[] for _ in range(H)]    # transfer issue
+        self._ee = [[] for _ in range(H)]   # egress channel end
+        self._ie = [[] for _ in range(H)]   # ingress channel end
+        self._a = [[] for _ in range(H)]    # arrival (incl. link latency)
+        self._w = [[] for _ in range(H)]    # disk write end
+        self._u = [[] for _ in range(H)]    # ACK relayed upstream
+        self._rel = [[] for _ in range(H)]  # buffer token release
+
+        self._rates: list[float] = []
+        self._old: Optional[tuple] = None  # previous arrays during replay
+        self._freeze_before = 0.0
+
+        batch_knob = deployment.config.hdfs.batch_completions == 1
+        #: Batched feeder: consume every already-produced chunk in one
+        #: synchronous pass with analytic get times.  Only safe when the
+        #: caller proved the whole file fits the data queue (puts can
+        #: never block, so early gets wake nobody).
+        self._batch_feed = bool(batchable) and batch_knob
+        #: Vectorized replay prefix / settle counters (numpy, bit-exact).
+        self._vector = batch_knob and HAVE_NUMPY
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Quiesce the receivers, arm guards, and spawn the conductor."""
+        assert not self._started
+        self._started = True
+        for receiver in self.receivers:
+            receiver.quiesce_for_train()
+        for channel in self.channels:
+            channel._guard = self._make_guard(channel)
+            self._guarded.add(id(channel))
+        self.network.throttles.subscribe(self._on_throttle)
+        # Settle synchronously inside the error event's callback chain so
+        # the client (subscribed after us) resumes against settled state.
+        assert self.handle.error.callbacks is not None
+        self.handle.error.callbacks.append(self._on_error)
+        self._snapshot_rates()
+        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
+        self._ledger = {id(ch): ([], []) for ch in self.channels}
+        self.deployment.metrics.count(self.conducted_metric)
+        self.env.process(
+            self._conduct(), name=f"train:b{self.block.block_id}"
+        )
+
+    # -- timeline math -----------------------------------------------------
+    def _snapshot_rates(self) -> None:
+        self._rates = [
+            self.network.effective_rate(src, dst) for src, dst in self._links
+        ]
 
     def _extend(self, k: int) -> None:
         """Compute packet ``k``'s full multi-hop row from the recurrences.
@@ -402,13 +456,6 @@ class PacketTrain:
                     ready = self._u[h + 1][k]
             self._u[h].append(ready + self._C)
 
-    def _seed_ledger(self, channel, issues: list, ends: list) -> None:
-        """Install a copied frozen prefix as a channel's replay ledger."""
-        key = id(channel)
-        self._ledger[key] = (issues[:], ends[:])
-        if ends and ends[-1] > self._chan_busy[key]:
-            self._chan_busy[key] = ends[-1]
-
     def _replay(self) -> None:
         """Frozen-prefix recompute at ``now`` with current rates/floors."""
         rows = len(self._g)
@@ -469,12 +516,6 @@ class PacketTrain:
         self._old = None
         if self._milestones:
             self._rebuild_milestones()
-
-    def _maybe_replay(self) -> None:
-        if self._flag.triggered:
-            self._flag = self.env.event()
-            self.deployment.metrics.count("train_invalidation_count")
-            self._replay()
 
     # -- the conductor -----------------------------------------------------
     def _feed_available(self, k: int) -> int:
@@ -753,3 +794,291 @@ class PacketTrain:
                 )
             )
         self._bump()  # wake the conductor so it can exit promptly
+
+
+def plan_read_train(
+    deployment: "HdfsDeployment",
+    source: "Datanode",
+    client_node: "Node",
+    serve: "ReadServe",
+    block: "Block",
+    offset: int = 0,
+) -> Optional["ReadTrain"]:
+    """Return a ready-to-start read train, or ``None`` to decline.
+
+    Mirrors :func:`plan_train`'s conservatism: any condition that could
+    make the analytic chunk cascade diverge from the per-chunk loop —
+    requote-mode reservations, a scheduled disturbance, a resumed stream
+    (non-zero ``offset``), loopback, a foreign write receiver or another
+    read serve sharing the source datanode, another train guarding a
+    needed channel — falls back to the legacy path.
+    """
+    hdfs_cfg = deployment.config.hdfs
+    if hdfs_cfg.coalesce_reads == 1:
+        return None
+    packet = hdfs_cfg.packet_size
+    n_chunks = -(-block.size // packet)
+    if 1 < hdfs_cfg.coalesce_reads < n_chunks:
+        return None
+    if deployment.network.config.requote_in_flight:
+        return None
+    if offset:
+        return None  # resumed (post-fault) streams stay per-chunk
+    if deployment.scheduled_disturbances:
+        return None
+    if not source.node.alive:
+        return None
+    if source.node is client_node:
+        return None  # loopback: shared NIC roles
+    if source._active:
+        return None  # foreign write stream on the source datanode
+    for other in source._serving:
+        if other is not serve:
+            return None  # another reader streaming from this source
+    train = ReadTrain(deployment, source, client_node, serve, block)
+    for channel in train.channels:
+        if channel._guard is not None:
+            return None  # another train holds this channel's ledger
+    return train
+
+
+class ReadTrain(TrainBase):
+    """One coalesced block read: analytic chunk cascade, one milestone.
+
+    The per-chunk read loop is a three-channel recurrence: with ``m_k``
+    the instant the reader's disk wait for chunk ``k`` resolves,
+
+    * disk prefetch of chunk ``k+1`` is quoted at ``m_k`` (chunk 0 at the
+      stream start ``t0``),
+    * chunk ``k``'s transfer quotes source egress + reader ingress at
+      ``m_k`` and completes at ``x_k = max(e_k, i_k) + L``,
+    * ``m_{k+1} = max(x_k, d_{k+1})``.
+
+    The stream ends at ``x_{K-1}``; :attr:`done` fires there after the
+    settle batch-applies disk/NIC counters and FlowSamples.  A datanode
+    kill mid-train settles the strictly-delivered prefix and records
+    :attr:`delivered_bytes` so the reader resumes from the next replica.
+    """
+
+    conducted_metric = "read_trains_conducted"
+    invalidation_metric = "read_train_invalidation_count"
+
+    def __init__(
+        self,
+        deployment: "HdfsDeployment",
+        source: "Datanode",
+        client_node: "Node",
+        serve: "ReadServe",
+        block: "Block",
+    ):
+        super().__init__(deployment, block)
+        self.source = source
+        self.client_node = client_node
+        self.serve = serve
+
+        packet = deployment.config.hdfs.packet_size
+        full, tail = divmod(block.size, packet)
+        self._sizes = [packet] * full + ([tail] if tail else [])
+        self._K = len(self._sizes)
+        self._total_bytes = block.size
+
+        self.disk = source.node.disk
+        self._disk_ch = self.disk._channel
+        self._egress = source.node.nic.egress
+        self._ingress = client_node.nic.ingress
+        seen: dict = {}
+        for channel in (self._disk_ch, self._egress, self._ingress):
+            seen.setdefault(id(channel), channel)
+        self.channels = list(seen.values())
+
+        #: Bytes whose transfer had completed when the stream ended —
+        #: the whole block on success, the delivered prefix after a kill.
+        self.delivered_bytes = 0
+        #: The dead source's name after a mid-train kill, else ``None``.
+        self.failed: Optional[str] = None
+
+        self._rate = 0.0
+        self._t0 = 0.0
+        # Timeline arrays, index = chunk.  _di/_d: disk quote issue/end;
+        # _m: disk-wait resolution (= transfer issue); _e/_i: egress and
+        # ingress ends; _x: transfer completion (incl. link latency).
+        self._di: list[float] = []
+        self._d: list[float] = []
+        self._m: list[float] = []
+        self._e: list[float] = []
+        self._i: list[float] = []
+        self._x: list[float] = []
+        self._old: Optional[tuple] = None
+        self._freeze_before = 0.0
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Arm guards and spawn the conductor (call at the stream start)."""
+        assert not self._started
+        self._started = True
+        self._t0 = self.env.now
+        for channel in self.channels:
+            channel._guard = self._make_guard(channel)
+            self._guarded.add(id(channel))
+        self.network.throttles.subscribe(self._on_throttle)
+        self.serve.on_kill = self._on_kill
+        self._snapshot_rates()
+        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
+        self._ledger = {id(ch): ([], []) for ch in self.channels}
+        self.deployment.metrics.count(self.conducted_metric)
+        self.env.process(
+            self._conduct(), name=f"readtrain:b{self.block.block_id}"
+        )
+
+    # -- timeline math -----------------------------------------------------
+    def _snapshot_rates(self) -> None:
+        self._rate = self.network.effective_rate(
+            self.source.node, self.client_node
+        )
+
+    def _extend(self, k: int) -> None:
+        """Compute chunk ``k``'s row from the three-channel recurrence."""
+        size = self._sizes[k]
+        old = self._old
+        frozen_T = self._freeze_before
+
+        # Disk prefetch: chunk 0 is quoted at the stream start, chunk k at
+        # the previous row's disk-wait resolution (the legacy loop quotes
+        # the next read the instant the previous wait resolves).
+        di = self._t0 if k == 0 else self._m[k - 1]
+        self._di.append(di)
+        if old is not None and old[0][k] < frozen_T:
+            d = self._keep(self._disk_ch, old[0][k], old[1][k])
+        else:
+            d = self._quote(self._disk_ch, di, size, self.disk.rate)
+        self._d.append(d)
+
+        prev = self._t0 if k == 0 else self._x[k - 1]
+        m = prev if prev > d else d
+        self._m.append(m)
+
+        if old is not None and old[2][k] < frozen_T:
+            e = self._keep(self._egress, old[2][k], old[3][k])
+            i = self._keep(self._ingress, old[2][k], old[4][k])
+        else:
+            e = self._quote(self._egress, m, size, self._rate)
+            i = self._quote(self._ingress, m, size, self._rate)
+        self._e.append(e)
+        self._i.append(i)
+        self._x.append((e if e > i else i) + self._L)
+
+    def _replay(self) -> None:
+        """Frozen-prefix recompute at ``now`` with current rates/floors."""
+        rows = len(self._x)
+        # _old layout: [0]=disk issues, [1]=disk ends, [2]=transfer
+        # issues, [3]=egress ends, [4]=ingress ends — see _extend.
+        self._old = (self._di, self._d, self._m, self._e, self._i)
+        self._freeze_before = self.env.now
+        self._di, self._d, self._m = [], [], []
+        self._e, self._i, self._x = [], [], []
+        self._snapshot_rates()
+        self._chan_busy = {id(ch): ch._busy_until for ch in self.channels}
+        self._ledger = {id(ch): ([], []) for ch in self.channels}
+        for k in range(rows):
+            self._extend(k)
+        self._old = None
+        self._rebuild_milestones()
+
+    # -- the conductor -----------------------------------------------------
+    def _rebuild_milestones(self) -> None:
+        if "end" in self._fired or not self._x:
+            self._milestones = []
+        else:
+            self._milestones = [self._x[-1]]
+
+    def _conduct(self) -> ProcessGenerator:
+        env = self.env
+        # Reads have no producer: the whole timeline is computable now.
+        for k in range(self._K):
+            self._extend(k)
+        self._rebuild_milestones()
+        while self._milestones:
+            self._maybe_replay()
+            if self._dead:
+                return
+            if not self._milestones:
+                break
+            when = self._milestones[0]
+            if env.now < when:
+                timer = env.timeout_at(when)
+                yield race(env, timer, self._flag)
+                timer.cancel()
+                if self._dead:
+                    return
+                continue
+            self._milestones.pop(0)
+            self._fired.add("end")
+            self._settle_success()
+        self._finished = True
+
+    # -- settles -----------------------------------------------------------
+    def _record_flows(self, rows: int) -> None:
+        stats = self.network.stats
+        src_name = self.source.node.name
+        dst_name = self.client_node.name
+        for k in range(rows):
+            stats.record(
+                FlowSample(
+                    src=src_name,
+                    dst=dst_name,
+                    size=self._sizes[k],
+                    start=self._m[k],
+                    end=self._x[k],
+                )
+            )
+
+    def _settle_success(self) -> None:
+        self._finished = True
+        src, dst = self.source.node, self.client_node
+        src.nic.bytes_sent += self._total_bytes
+        dst.nic.bytes_received += self._total_bytes
+        self._record_flows(self._K)
+        # Legacy commits bytes_read at each read_event issue; on success
+        # every chunk was issued.
+        self.disk.bytes_read += self._total_bytes
+        self.delivered_bytes = self._total_bytes
+        for channel in self.channels:
+            issues, ends = self._ledger[id(channel)]
+            if ends and ends[-1] > channel._busy_until:
+                channel._busy_until = ends[-1]
+        self._detach()
+        self.serve.on_kill = None
+        if not self.done.triggered:
+            self.done.succeed(self.block)
+
+    def _on_kill(self) -> None:
+        """Source died mid-train: settle the strictly-delivered prefix.
+
+        Runs synchronously inside :meth:`Datanode.kill` (via
+        :meth:`ReadServe.abort`, which has already released the serve
+        slot).  Chunks whose transfer completed strictly before now were
+        delivered; the reader resumes from :attr:`delivered_bytes` on the
+        next-ranked replica.
+        """
+        if self._finished or self._dead:
+            return
+        self._dead = True
+        now = self.env.now
+        delivered = sum(1 for x in self._x if x < now)
+        issued_reads = sum(1 for di in self._di if di < now)
+        moved = sum(self._sizes[:delivered])
+        if moved:
+            src, dst = self.source.node, self.client_node
+            src.nic.bytes_sent += moved
+            dst.nic.bytes_received += moved
+            self._record_flows(delivered)
+        self.disk.bytes_read += sum(self._sizes[:issued_reads])
+        self.delivered_bytes = moved
+        self.failed = self.source.name
+        for channel in self.channels:
+            if id(channel) in self._guarded:
+                self._materialize(channel)
+        self._detach()
+        self._bump()  # wake the conductor so it can exit promptly
+        if not self.done.triggered:
+            self.done.succeed(None)

@@ -194,25 +194,32 @@ class MapRunner:
         yield from self._compute_tail(size, t0)
 
     def _remote_scan(self, node: Node, block) -> ProcessGenerator:
-        """Stream the block from the nearest live replica, computing as
-        the data arrives."""
-        namenode = self.deployment.namenode
-        topology = self.deployment.network.topology
-        sources = [
-            d
-            for d in namenode.blocks.locations(block.block_id)
-            if self.deployment.datanode(d).node.alive
-        ]
+        """Stream the block from the best-ranked live replica, computing
+        as the data arrives.
+
+        Replica choice goes through the deployment-wide
+        :meth:`~repro.hdfs.deployment.HdfsDeployment.ranked_replicas`
+        path (speed-aware, locality tie-break, policy-overridable), and
+        the stream is admitted against the source's bounded serve queue —
+        so map tasks racing readers for a hot replica wait in the same
+        ``read.serve_wait`` histogram the HDFS client populates.
+        """
+        sources = self.deployment.ranked_replicas(
+            block, client=node.name, node=node, seed=self._rng_seed
+        )
         if not sources:
             raise RuntimeError(f"block {block.block_id}: no live replica")
-        sources.sort(key=lambda d: topology.distance(node.name, d))
         source = self.deployment.datanode(sources[0])
-        t0 = self.env.now
-        read = self.env.process(source.node.disk.read(block.size))
-        yield self.env.process(
-            self.deployment.network.transfer(source.node, node, block.size)
-        )
-        yield read
+        serve = yield from source.open_serve(block.block_id, node.name)
+        try:
+            t0 = self.env.now
+            read = self.env.process(source.node.disk.read(block.size))
+            yield self.env.process(
+                self.deployment.network.transfer(source.node, node, block.size)
+            )
+            yield read
+        finally:
+            serve.close()
         yield from self._compute_tail(block.size, t0)
 
     def _compute_tail(self, size: int, t0: float) -> ProcessGenerator:

@@ -49,6 +49,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..cluster.node import Node
     from ..hdfs.deployment import HdfsDeployment
     from ..net.topology import Topology
 
@@ -246,6 +247,47 @@ class Policy:
     def note_read(self, block_id: int, datanode: str) -> None:
         """One whole-block read served; feeds popularity counters."""
         self.replication().note_read(block_id, self.deployment.env.now)
+
+    def rank_replicas(
+        self,
+        client: str,
+        block_id: int,
+        candidates: list[str],
+        node: "Node",
+    ) -> list[str]:
+        """Order live replica holders for one block read, best first.
+
+        ``candidates`` arrives pre-shuffled by the caller's per-(client,
+        block) substream, so every tie the sorts below leave is broken by
+        a seed-stable coin rather than dict order.  The default is
+        speed-aware: candidates sort by the client's recorded speed in
+        the namenode's :class:`~repro.hdfs.namenode.SpeedRegistry` (the
+        heartbeat-piggybacked §III-B measurements), fastest first.
+        Coverage is partial — only pipeline *heads* ever get measured —
+        so unrecorded candidates assume the mean recorded speed rather
+        than sorting categorically before or after recorded ones:
+        known-slow replicas fall behind unknowns, known-fast ones pull
+        ahead, and the sort's stability leaves everything else in
+        topology-locality order (same node < same rack < off rack).  A
+        cold registry — every baseline-HDFS-only history — therefore
+        reduces to the pre-ranking locality order exactly.  Sorts are in
+        place; the returned list may be ``candidates`` itself.
+        """
+        deployment = self.deployment
+        topology = deployment.network.topology
+        if node.name in topology:
+            candidates.sort(
+                key=lambda dn: topology.distance(node.name, dn)
+            )
+        else:
+            candidates.sort(
+                key=lambda dn: 0 if topology.rack_of(dn) == node.rack else 1
+            )
+        speeds = deployment.namenode.speeds.speed_table(client)
+        if speeds:
+            prior = sum(speeds.values()) / len(speeds)
+            candidates.sort(key=lambda dn: -speeds.get(dn, prior))
+        return candidates
 
     # -- client tuning -------------------------------------------------
     def tuning_for(self, client: str) -> ClientTuning:

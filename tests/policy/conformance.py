@@ -41,6 +41,7 @@ __all__ = [
     "check_determinism",
     "check_chaos_durability",
     "check_rereplication_convergence",
+    "check_read_feedback",
 ]
 
 
@@ -125,6 +126,59 @@ def check_chaos_durability(
     assert totals["replication_convergence"]["violations"] == 0
     assert report["policy"] == name
     return report
+
+
+def check_read_feedback(name: str) -> None:
+    """The read path works under the policy and feeds it back.
+
+    ``rank_replicas`` must return a permutation of the live holders it
+    was handed (drop or duplicate a replica and degraded reads break),
+    whole-file reads must complete in full from real holders, and
+    ``note_read`` must fire once per block — the popularity feed adaptive
+    replication policies learn from.
+    """
+    from repro.hdfs import HdfsReader
+
+    env, deployment = build_deployment(name)
+    client = deployment.client()
+    env.run(until=env.process(client.put("/f", 6 * MB)))
+
+    namenode = deployment.namenode
+    reader = HdfsReader(deployment)
+    inode = namenode.namespace.get("/f")
+    for block in inode.blocks:
+        holders = set(namenode.blocks.locations(block.block_id))
+        ranked = reader._candidates(block)
+        assert len(ranked) == len(holders), (
+            f"{name}: rank_replicas changed the candidate count for "
+            f"block {block.block_id}"
+        )
+        assert set(ranked) == holders, (
+            f"{name}: rank_replicas is not a permutation of the holders"
+        )
+
+    policy = deployment.policy
+    fed: list[tuple[int, str]] = []
+    original = policy.note_read
+
+    def recording_note_read(block_id: int, datanode: str) -> None:
+        fed.append((block_id, datanode))
+        original(block_id, datanode)
+
+    policy.note_read = recording_note_read
+    try:
+        result = env.run(until=env.process(reader.get("/f")))
+    finally:
+        policy.note_read = original
+
+    assert result.size == inode.size
+    assert len(result.sources) == len(inode.blocks)
+    assert fed == result.sources, (
+        f"{name}: note_read calls {fed} diverge from the sources actually "
+        f"read {result.sources}"
+    )
+    for block_id, source in result.sources:
+        assert source in namenode.blocks.locations(block_id)
 
 
 def check_rereplication_convergence(name: str) -> None:

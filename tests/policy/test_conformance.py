@@ -24,6 +24,7 @@ from .conformance import (
     check_chaos_durability,
     check_determinism,
     check_interface,
+    check_read_feedback,
     check_rereplication_convergence,
     upload_fingerprint,
 )
@@ -48,6 +49,9 @@ class TestConformance:
 
     def test_rereplication_convergence(self, name: str) -> None:
         check_rereplication_convergence(name)
+
+    def test_read_feedback(self, name: str) -> None:
+        check_read_feedback(name)
 
 
 @pytest.mark.parametrize("name", POLICIES)
